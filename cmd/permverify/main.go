@@ -1,0 +1,171 @@
+// Command permverify is a statistical self-test: it re-derives the
+// paper's central guarantee - every permutation equally likely - on the
+// installed build, and exits non-zero if any check fails. It is designed
+// for CI pipelines of downstream users who patch the library: a wrong
+// conditioning step or a biased bounded-integer draw is invisible to
+// unit tests of the happy path but lights up here.
+//
+// Checks:
+//
+//  1. exhaustive uniformity of the parallel shuffle over all n!
+//     permutations, for every matrix algorithm (chi-square, alpha
+//     configurable);
+//  2. exhaustive uniformity of the k-subset sampler over all C(n,k)
+//     subsets;
+//  3. exactness of the communication matrix law against the closed-form
+//     contingency probability;
+//  4. a deliberately broken control (Sattolo) that MUST fail, guarding
+//     against a vacuous test harness.
+//
+// Usage:
+//
+//	permverify                 # default sizes (~20s)
+//	permverify -trials 200000  # tighter
+//	permverify -alpha 0.001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"randperm"
+	"randperm/internal/commat"
+	"randperm/internal/seqperm"
+	"randperm/internal/stats"
+	"randperm/internal/xrand"
+)
+
+func main() {
+	var (
+		trials = flag.Int("trials", 36000, "trials per statistical check")
+		alpha  = flag.Float64("alpha", 0.0005, "rejection level per check")
+		seed   = flag.Uint64("seed", 20031, "base seed")
+	)
+	flag.Parse()
+
+	failed := 0
+	check := func(name string, wantUniform bool, res stats.GOFResult) {
+		verdict := "uniform"
+		if res.Reject(*alpha) {
+			verdict = "NON-UNIFORM"
+		}
+		ok := res.Reject(*alpha) != wantUniform
+		status := "ok"
+		if !ok {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-4s %-34s %-12s %s\n", status, name, verdict, res)
+	}
+
+	// 1. Parallel shuffle over all 5! permutations.
+	const n = 5
+	nf := stats.Factorial(n)
+	for _, alg := range []randperm.MatrixAlg{randperm.MatrixSeq, randperm.MatrixLog, randperm.MatrixOpt} {
+		counts := make([]int64, nf)
+		for tr := 0; tr < *trials; tr++ {
+			data := make([]int64, n)
+			for i := range data {
+				data[i] = int64(i)
+			}
+			out, _, err := randperm.ParallelShuffle(data, randperm.Options{
+				Procs: 2, Seed: *seed + uint64(tr)*0x9E3779B97F4A7C15, Matrix: alg,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "permverify:", err)
+				os.Exit(2)
+			}
+			counts[stats.RankPermInt64(out)]++
+		}
+		res, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "permverify:", err)
+			os.Exit(2)
+		}
+		check(fmt.Sprintf("parallel shuffle (matrix=%s)", alg), true, res)
+	}
+
+	// 2. k-subset sampler over all C(7,3) = 35 subsets.
+	{
+		const sn, sk = 7, 3
+		counts := make([]int64, stats.Binomial(sn, sk))
+		for tr := 0; tr < *trials; tr++ {
+			data := make([]int64, sn)
+			for i := range data {
+				data[i] = int64(i)
+			}
+			sample, _, err := randperm.ParallelSample(data, sk, randperm.Options{
+				Procs: 2, Seed: *seed + uint64(tr)*0xD1342543DE82EF95,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "permverify:", err)
+				os.Exit(2)
+			}
+			counts[stats.RankCombInt64(sample, sn)]++
+		}
+		res, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "permverify:", err)
+			os.Exit(2)
+		}
+		check("k-subset sampler", true, res)
+	}
+
+	// 3. Matrix law against the exact contingency probability.
+	{
+		rowM := []int64{3, 3}
+		colM := []int64{2, 4}
+		var keys []string
+		probs := make(map[string]float64)
+		commat.Enumerate(rowM, colM, func(m *commat.Matrix) bool {
+			k := m.String()
+			keys = append(keys, k)
+			probs[k] = commat.Prob(m, rowM, colM)
+			return true
+		})
+		counts := make(map[string]int64)
+		src := xrand.NewXoshiro256(*seed + 99)
+		for tr := 0; tr < *trials; tr++ {
+			counts[commat.SampleSeq(src, rowM, colM).String()]++
+		}
+		obs := make([]int64, len(keys))
+		ps := make([]float64, len(keys))
+		for i, k := range keys {
+			obs[i] = counts[k]
+			ps[i] = probs[k]
+		}
+		res, err := stats.ChiSquare(obs, ps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "permverify:", err)
+			os.Exit(2)
+		}
+		check("communication matrix law", true, res)
+	}
+
+	// 4. The control that must fail.
+	{
+		counts := make([]int64, nf)
+		src := xrand.NewXoshiro256(*seed + 7)
+		for tr := 0; tr < *trials; tr++ {
+			data := make([]int64, n)
+			for i := range data {
+				data[i] = int64(i)
+			}
+			seqperm.Sattolo(src, data)
+			counts[stats.RankPermInt64(data)]++
+		}
+		res, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "permverify:", err)
+			os.Exit(2)
+		}
+		check("sattolo control (must fail)", false, res)
+	}
+
+	if failed > 0 {
+		fmt.Printf("\npermverify: %d check(s) FAILED\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("\npermverify: all statistical checks passed")
+}

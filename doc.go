@@ -1,0 +1,38 @@
+// Package randperm generates uniform random permutations of large data
+// sets, sequentially and on a simulated coarse grained parallel machine,
+// implementing Jens Gustedt's "Randomized Permutations in a Coarse
+// Grained Parallel Environment" (INRIA RR-4639, 2002 / SPAA 2003).
+//
+// The paper's problem: a vector of n items lives in blocks on p
+// processors; rearrange the items into prescribed target blocks so that
+// every one of the n! permutations is equally likely (uniformity), with
+// O(n) total work including random number generation and communication
+// (work-optimality), and with no processor ever holding more than its
+// block's worth of data (balance). Previous methods achieved at most two
+// of the three.
+//
+// The solution separates concerns: first sample the p x p communication
+// matrix A - whose entry a_ij says how many items block i sends to block
+// j - from its exact distribution (a matrix generalization of the
+// multivariate hypergeometric law), then route a_ij arbitrarily chosen
+// items per processor pair and shuffle locally on both sides.
+//
+// The package exposes three layers:
+//
+//   - Sequential shuffling: Shuffle (Fisher-Yates), BlockShuffle (the
+//     paper's cache-friendly outlook idea), Perm.
+//   - Exact distribution sampling: Hypergeometric, MultivariateHypergeometric,
+//     CommMatrix with its exact probability CommMatrixLogProb.
+//   - Parallel shuffling: ParallelShuffle and ParallelShuffleBlocks run
+//     the paper's Algorithm 1 on a machine of goroutine "processors",
+//     with the communication matrix sampled by Algorithm 3 at the root
+//     (MatrixSeq), Algorithm 5 (MatrixLog, Theta(p log p) per processor)
+//     or the cost-optimal Algorithm 6 (MatrixOpt, Theta(p) per
+//     processor). A Report of per-processor work, communication volume
+//     and random draws accompanies every run, making the paper's
+//     resource bounds observable.
+//
+// All randomness flows from a single seed through per-processor
+// jump-separated xoshiro256++ streams, so every result in this package is
+// deterministic and reproducible.
+package randperm

@@ -1,0 +1,104 @@
+package randperm_test
+
+import (
+	"fmt"
+
+	"randperm"
+)
+
+// The simplest use: a sequential uniform shuffle.
+func ExampleShuffle() {
+	src := randperm.NewSource(1)
+	x := []string{"a", "b", "c", "d", "e"}
+	randperm.Shuffle(src, x)
+	fmt.Println(len(x))
+	// Output: 5
+}
+
+// The paper's parallel Algorithm 1: shuffle on simulated processors and
+// inspect the resource report of Theorem 1.
+func ExampleParallelShuffle() {
+	data := make([]int64, 1000)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	out, report, err := randperm.ParallelShuffle(data, randperm.Options{
+		Procs: 4,
+		Seed:  7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(out), report.Procs, report.Supersteps)
+	// Output: 1000 4 4
+}
+
+// Sampling a communication matrix directly (Problem 2 of the paper):
+// how many items does each source block send to each target block?
+func ExampleCommMatrix() {
+	src := randperm.NewSource(3)
+	a := randperm.CommMatrix(src, []int64{4, 4}, []int64{4, 4})
+	var rowSum int64
+	for _, v := range a[0] {
+		rowSum += v
+	}
+	fmt.Println(len(a), len(a[0]), rowSum)
+	// Output: 2 2 4
+}
+
+// Hypergeometric sampling, the paper's core primitive: how many of the
+// 50 red balls land in a 30-ball draw from a 100-ball urn.
+func ExampleHypergeometric() {
+	src := randperm.NewSource(9)
+	k := randperm.Hypergeometric(src, 30, 50, 50)
+	fmt.Println(k >= 0 && k <= 30)
+	// Output: true
+}
+
+// Uniform k-subset sampling with the same machinery: the paper's
+// "random samples to test algorithms" motivation.
+func ExampleParallelSample() {
+	data := make([]int64, 100)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	sample, _, err := randperm.ParallelSample(data, 10, randperm.Options{
+		Procs: 4,
+		Seed:  11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(sample))
+	// Output: 10
+}
+
+// Shuffling a disk-resident vector in streaming block transfers: the
+// external-memory outlook of Section 6.
+func ExampleExternalShuffle() {
+	data := make([]int64, 4096)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	src := randperm.NewSource(13)
+	stats, err := randperm.ExternalShuffle(src, data, 64, 512)
+	if err != nil {
+		panic(err)
+	}
+	// Streaming: far fewer block I/Os than items.
+	fmt.Println(stats.Blocks, stats.IOs() < 4096)
+	// Output: 64 true
+}
+
+// Redistribution with different target block sizes: Problem 1 in full
+// generality.
+func ExampleParallelShuffleBlocks() {
+	blocks := [][]int{{1, 2, 3, 4}, {5, 6}}
+	out, _, err := randperm.ParallelShuffleBlocks(blocks, []int64{3, 3},
+		randperm.Options{Seed: 5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(out[0]), len(out[1]))
+	// Output: 3 3
+}

@@ -1,0 +1,113 @@
+package randperm_test
+
+import (
+	"testing"
+
+	"randperm"
+)
+
+func TestCommMatrixParallelMargins(t *testing.T) {
+	rows := []int64{10, 20, 30, 40}
+	cols := []int64{25, 25, 25, 25}
+	for _, alg := range []randperm.MatrixAlg{randperm.MatrixOpt, randperm.MatrixLog, randperm.MatrixSeq} {
+		a, rep, err := randperm.CommMatrixParallel(rows, cols, randperm.Options{
+			Seed: 3, Matrix: alg,
+		})
+		if err != nil {
+			t.Fatalf("alg=%v: %v", alg, err)
+		}
+		if rep.Procs != 4 {
+			t.Fatalf("alg=%v: report procs = %d", alg, rep.Procs)
+		}
+		for i, row := range a {
+			var s int64
+			for _, v := range row {
+				s += v
+			}
+			if s != rows[i] {
+				t.Fatalf("alg=%v: row %d sums to %d", alg, i, s)
+			}
+		}
+		for j := range cols {
+			var s int64
+			for i := range rows {
+				s += a[i][j]
+			}
+			if s != cols[j] {
+				t.Fatalf("alg=%v: col %d sums to %d", alg, j, s)
+			}
+		}
+	}
+}
+
+func TestCommMatrixParallelEmpty(t *testing.T) {
+	if _, _, err := randperm.CommMatrixParallel(nil, nil, randperm.Options{}); err == nil {
+		t.Fatal("empty margins accepted")
+	}
+}
+
+func TestExternalShuffle(t *testing.T) {
+	src := randperm.NewSource(9)
+	const n = 10000
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	stats, err := randperm.ExternalShuffle(src, data, 64, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, n)
+	for _, v := range data {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatal("not a permutation")
+		}
+		seen[v] = true
+	}
+	if stats.Blocks != (n+63)/64 {
+		t.Fatalf("blocks = %d", stats.Blocks)
+	}
+	if stats.IOs() == 0 || stats.Reads == 0 || stats.Writes == 0 {
+		t.Fatalf("I/O counters empty: %+v", stats)
+	}
+	// Streaming bound: far fewer I/Os than items.
+	if stats.IOs() > n/2 {
+		t.Fatalf("external shuffle used %d I/Os for %d items", stats.IOs(), n)
+	}
+}
+
+func TestExternalShuffleErrors(t *testing.T) {
+	src := randperm.NewSource(1)
+	if _, err := randperm.ExternalShuffle(src, make([]int64, 10), 0, 100); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	if _, err := randperm.ExternalShuffle(src, make([]int64, 10), 8, 8); err == nil {
+		t.Fatal("tiny memory accepted")
+	}
+}
+
+// customSource checks that user-provided Sources work through the
+// adapter path.
+type customSource struct{ state uint64 }
+
+func (c *customSource) Uint64() uint64 {
+	c.state = c.state*6364136223846793005 + 1442695040888963407
+	return c.state
+}
+
+func TestExternalShuffleCustomSource(t *testing.T) {
+	data := make([]int64, 500)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	if _, err := randperm.ExternalShuffle(&customSource{state: 7}, data, 16, 128); err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(data))
+	for _, v := range data {
+		if seen[v] {
+			t.Fatal("duplicate")
+		}
+		seen[v] = true
+	}
+}

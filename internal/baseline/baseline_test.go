@@ -1,0 +1,289 @@
+package baseline
+
+import (
+	"testing"
+
+	"randperm/internal/core"
+	"randperm/internal/stats"
+)
+
+func flatten64(blocks [][]int64) []int64 {
+	var out []int64
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func mkBlocks(t *testing.T, n int64, sizes []int64) [][]int64 {
+	t.Helper()
+	blocks, err := core.Split(core.Iota(n), sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blocks
+}
+
+func TestSortShufflePermutation(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		n := int64(1000)
+		sizes := core.EvenBlocks(n, p)
+		in := mkBlocks(t, n, sizes)
+		out, _, err := SortShuffle(in, uint64(p)+5)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if err := core.CheckPermutation(in, out, sizes); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestSortShuffleRaggedBlocks(t *testing.T) {
+	sizes := []int64{5, 0, 17, 3}
+	in := mkBlocks(t, 25, sizes)
+	out, _, err := SortShuffle(in, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.CheckPermutation(in, out, sizes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortShuffleUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	const n = 4
+	const trials = 24000
+	sizes := []int64{2, 2}
+	counts := make([]int64, stats.Factorial(n))
+	for tr := 0; tr < trials; tr++ {
+		in := mkBlocks(t, n, sizes)
+		out, _, err := SortShuffle(in, uint64(tr)*0x9E3779B97F4A7C15+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[stats.RankPermInt64(flatten64(out))]++
+	}
+	res, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.0005) {
+		t.Errorf("sort-shuffle non-uniform: %s", res)
+	}
+}
+
+func TestSortShuffleWorkSuperlinear(t *testing.T) {
+	// The Goodrich baseline must exhibit the log n factor the paper
+	// criticizes: per-item ops grow with n.
+	perItemOps := func(n int64) float64 {
+		sizes := core.EvenBlocks(n, 4)
+		in := mkBlocks(t, n, sizes)
+		_, m, err := SortShuffle(in, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(m.Report().TotalOps()) / float64(n)
+	}
+	small := perItemOps(1 << 10)
+	big := perItemOps(1 << 16)
+	if big <= small {
+		t.Errorf("per-item ops did not grow with n: %.1f -> %.1f", small, big)
+	}
+}
+
+func TestIterateExchangePermutation(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		n := int64(p * 100)
+		sizes := core.EvenBlocks(n, p)
+		in := mkBlocks(t, n, sizes)
+		out, _, err := IterateExchange(in, 7, 3)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if err := core.CheckPermutation(in, out, sizes); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestIterateExchangeRejectsNonPow2(t *testing.T) {
+	in := mkBlocks(t, 30, []int64{10, 10, 10})
+	if _, _, err := IterateExchange(in, 1, 1); err == nil {
+		t.Fatal("p=3 accepted")
+	}
+}
+
+func TestIterateExchangeP2OneRoundUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	// For p=2 a single merge-split IS a uniform permutation: the pool
+	// is the whole vector. This positive control separates the method
+	// failure (p>2) from implementation bugs.
+	const n = 4
+	const trials = 24000
+	sizes := []int64{2, 2}
+	counts := make([]int64, stats.Factorial(n))
+	for tr := 0; tr < trials; tr++ {
+		in := mkBlocks(t, n, sizes)
+		out, _, err := IterateExchange(in, uint64(tr)*2654435761+9, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[stats.RankPermInt64(flatten64(out))]++
+	}
+	res, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.0005) {
+		t.Errorf("p=2 merge-split should be uniform: %s", res)
+	}
+}
+
+func TestIterateExchangeP4OneRoundNonUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	// The paper's point: with p=4 one round cannot realize all
+	// permutations (items cannot cross the pairing), so the chi-square
+	// must reject decisively.
+	const n = 4
+	const trials = 12000
+	sizes := []int64{1, 1, 1, 1}
+	counts := make([]int64, stats.Factorial(n))
+	for tr := 0; tr < trials; tr++ {
+		in := mkBlocks(t, n, sizes)
+		out, _, err := IterateExchange(in, uint64(tr)*6364136223846793005+11, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[stats.RankPermInt64(flatten64(out))]++
+	}
+	res, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.001) {
+		t.Errorf("one-round merge-split passed uniformity: %s", res)
+	}
+}
+
+func TestIterateExchangeConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	// More rounds must shrink the total-variation distance to uniform:
+	// the log-iteration trade-off the paper describes.
+	const n = 4
+	const trials = 12000
+	sizes := []int64{1, 1, 1, 1}
+	uniform := make([]float64, stats.Factorial(n))
+	for i := range uniform {
+		uniform[i] = 1 / float64(len(uniform))
+	}
+	tvd := func(rounds int) float64 {
+		counts := make([]int64, stats.Factorial(n))
+		for tr := 0; tr < trials; tr++ {
+			in := mkBlocks(t, n, sizes)
+			out, _, err := IterateExchange(in, uint64(tr)*0xDEECE66D+uint64(rounds), rounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[stats.RankPermInt64(flatten64(out))]++
+		}
+		return stats.TotalVariation(counts, uniform)
+	}
+	d1, d4 := tvd(1), tvd(4)
+	if d4 >= d1 {
+		t.Errorf("TVD did not shrink with rounds: %.4f (1 round) vs %.4f (4 rounds)", d1, d4)
+	}
+}
+
+func TestDartThrowingConservesItems(t *testing.T) {
+	n := int64(4096)
+	p := 8
+	sizes := core.EvenBlocks(n, p)
+	in := mkBlocks(t, n, sizes)
+	res, _, err := DartThrowing(in, 5, 0.1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	seen := make(map[int64]bool)
+	for _, b := range res.Blocks {
+		for _, v := range b {
+			if seen[v] {
+				t.Fatalf("duplicate item %d", v)
+			}
+			seen[v] = true
+			total++
+		}
+		if int64(len(b)) > res.Cap {
+			t.Fatalf("block exceeds reported capacity: %d > %d", len(b), res.Cap)
+		}
+	}
+	if total != n {
+		t.Fatalf("item count %d, want %d", total, n)
+	}
+	if res.Rounds < 1 {
+		t.Fatal("rounds must be at least 1")
+	}
+	if res.MaxLoad > res.Cap {
+		t.Fatalf("accepted max load %d above capacity %d", res.MaxLoad, res.Cap)
+	}
+}
+
+func TestDartThrowingTightSlackCostsRounds(t *testing.T) {
+	n := int64(4096)
+	p := 8
+	sizes := core.EvenBlocks(n, p)
+	loose, _, err := DartThrowing(mkBlocks(t, n, sizes), 7, 0.5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, _, err := DartThrowing(mkBlocks(t, n, sizes), 7, 0.0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Rounds < loose.Rounds {
+		t.Errorf("tight slack (%d rounds) was cheaper than loose (%d rounds)",
+			tight.Rounds, loose.Rounds)
+	}
+}
+
+func TestRandRouteConservesItems(t *testing.T) {
+	n := int64(8192)
+	p := 16
+	sizes := core.EvenBlocks(n, p)
+	res, _, err := RandRoute(mkBlocks(t, n, sizes), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	seen := make(map[int64]bool)
+	for _, b := range res.Blocks {
+		for _, v := range b {
+			if seen[v] {
+				t.Fatalf("duplicate item %d", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("item count %d, want %d", total, n)
+	}
+	if res.MaxLoad < res.MinLoad {
+		t.Fatal("load extremes inverted")
+	}
+	// Multinomial loads essentially never hit the exact target on
+	// every processor; the imbalance is the point of the baseline.
+	if res.MaxLoad == n/int64(p) && res.MinLoad == n/int64(p) {
+		t.Log("note: perfectly balanced random routing (astronomically unlikely)")
+	}
+}

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"math"
+
+	"randperm/internal/pro"
+	"randperm/internal/xrand"
+)
+
+// DartResult reports the outcome of a dart-throwing run.
+type DartResult struct {
+	// Blocks holds the routed items; block j has at most Cap items.
+	Blocks [][]int64
+	// Rounds is the number of global attempts including the successful
+	// one (the restart count plus one); the work spent is Rounds * n.
+	Rounds int
+	// Cap is the per-destination capacity ceil((1+eps) * max target).
+	Cap int64
+	// MaxLoad is the largest destination load of the accepted round.
+	MaxLoad int64
+}
+
+// DartThrowing is the rejection-based method: every item independently
+// picks a uniformly random destination; if any destination would exceed
+// the capacity (1+eps)m', the entire round is discarded and re-drawn
+// ("start-over"). On success items are delivered and each destination
+// shuffles locally.
+//
+// The paper's criticism (Section 1) is measurable here: for small eps the
+// restart probability approaches 1 (work-optimality lost); for any eps
+// the accepted loads are conditioned on the capacity event, so the
+// communication matrix no longer follows the exact hypergeometric law
+// (uniformity lost); and the output block sizes are whatever the darts
+// produced, not the prescribed m' (balance achieved only approximately).
+// maxRounds caps the retries; the final round is delivered even if it
+// overflows, with MaxLoad exposing the violation.
+func DartThrowing(blocks [][]int64, seed uint64, eps float64, maxRounds int) (DartResult, *pro.Machine, error) {
+	p := len(blocks)
+	m := pro.NewMachine(p)
+	streams := xrand.NewStreams(seed, p)
+	if maxRounds < 1 {
+		maxRounds = 1
+	}
+
+	var maxTarget int64
+	for _, b := range blocks {
+		if int64(len(b)) > maxTarget {
+			maxTarget = int64(len(b))
+		}
+	}
+	capacity := int64(math.Ceil((1 + eps) * float64(maxTarget)))
+
+	res := DartResult{Blocks: make([][]int64, p), Cap: capacity}
+	err := m.Run(func(pr *pro.Proc) {
+		rank := pr.Rank()
+		cnt := xrand.NewCounting(streams[rank])
+		local := blocks[rank]
+
+		var dest []int
+		counts := make([]int64, p)
+		rounds := 0
+		for {
+			rounds++
+			// Draw destinations and count them.
+			dest = dest[:0]
+			for j := range counts {
+				counts[j] = 0
+			}
+			for range local {
+				d := xrand.Intn(cnt, p)
+				dest = append(dest, d)
+				counts[d]++
+			}
+			pr.AddOps(int64(len(local)))
+			pr.AddDraws(int64(cnt.Count()))
+			cnt.Reset()
+
+			// Global capacity check: gather everyone's count
+			// vector and test the column sums.
+			all := pro.AllGather(pr, append([]int64(nil), counts...))
+			overflow := false
+			var worst int64
+			for j := 0; j < p; j++ {
+				var load int64
+				for i := 0; i < p; i++ {
+					load += all[i][j]
+				}
+				if load > worst {
+					worst = load
+				}
+				if load > capacity {
+					overflow = true
+				}
+			}
+			pr.AddOps(int64(p * p))
+			if !overflow || rounds >= maxRounds {
+				if rank == 0 {
+					res.Rounds = rounds
+					res.MaxLoad = worst
+				}
+				break
+			}
+			pr.Barrier() // next attempt is a new superstep
+		}
+
+		// Deliver the accepted darts.
+		parts := make([][]int64, p)
+		for j := range parts {
+			parts[j] = make([]int64, 0, counts[j])
+		}
+		for i, v := range local {
+			parts[dest[i]] = append(parts[dest[i]], v)
+		}
+		recv := pro.AllToAll(pr, parts)
+		var got []int64
+		for _, seg := range recv {
+			got = append(got, seg...)
+		}
+		xrand.Shuffle(cnt, got)
+		pr.AddOps(int64(len(local) + 2*len(got)))
+		pr.AddDraws(int64(cnt.Count()))
+		res.Blocks[rank] = got
+	})
+	if err != nil {
+		return DartResult{}, nil, err
+	}
+	return res, m, nil
+}

@@ -1,0 +1,107 @@
+// Package baseline implements the competing coarse-grained permutation
+// methods the paper positions itself against (Goodrich 1997; the survey
+// of Guérin Lassous and Thierry 2000). Each one demonstrably fails at
+// least one of the paper's three criteria:
+//
+//   - SortShuffle (Goodrich): uniform and balanced, but Theta(n log n)
+//     work - not work-optimal.
+//   - DartThrowing: work-optimal per round and balanced on success, but
+//     relies on rejection/restart, so the work bound is only
+//     probabilistic and uniformity of the accepted outcome is skewed.
+//   - RandRoute: work-optimal and uniform over *ragged* outputs, but the
+//     block sizes are multinomial - not balanced to fixed targets.
+//   - IterateExchange: work-optimal per round and perfectly balanced,
+//     but non-uniform for any fixed number of rounds (the log-iteration
+//     trick the paper criticizes only converges to uniform).
+//
+// The experiment harness measures all four against the paper's
+// Algorithm 1 (experiments E5 and E6).
+package baseline
+
+import (
+	"randperm/internal/pro"
+	"randperm/internal/psort"
+	"randperm/internal/xrand"
+)
+
+// SortShuffle permutes the distributed blocks by attaching an independent
+// random 64-bit key to every item and globally sorting (parallel sorting
+// by regular sampling), then rebalancing to the original block sizes.
+// This is the shape of Goodrich's BSP algorithm: uniform up to the
+// ~n^2/2^64 chance of a key collision, balanced, but with Theta(m log n)
+// work per processor.
+func SortShuffle(blocks [][]int64, seed uint64) ([][]int64, *pro.Machine, error) {
+	p := len(blocks)
+	m := pro.NewMachine(p)
+	streams := xrand.NewStreams(seed, p)
+	sizes := make([]int64, p)
+	for i, b := range blocks {
+		sizes[i] = int64(len(b))
+	}
+	out := make([][]int64, p)
+
+	err := m.Run(func(pr *pro.Proc) {
+		rank := pr.Rank()
+		cnt := xrand.NewCounting(streams[rank])
+
+		// Attach random keys: the only randomness of the method.
+		local := make([]psort.KV, len(blocks[rank]))
+		for i, v := range blocks[rank] {
+			local[i] = psort.KV{Key: cnt.Uint64(), Val: v}
+		}
+		pr.AddOps(int64(len(local)))
+		pr.AddDraws(int64(cnt.Count()))
+		pr.Barrier()
+
+		sorted := psort.SortKV(pr, local)
+		pr.Barrier()
+
+		// Rebalance the globally sorted sequence to the target
+		// block sizes: an order-preserving segment exchange.
+		mySize := int64(len(sorted))
+		allSizes := pro.AllGather(pr, mySize)
+		var myStart int64
+		for i := 0; i < rank; i++ {
+			myStart += allSizes[i]
+		}
+		targetStart := make([]int64, p+1)
+		for j := 0; j < p; j++ {
+			targetStart[j+1] = targetStart[j] + sizes[j]
+		}
+		parts := make([][]psort.KV, p)
+		for j := 0; j < p; j++ {
+			lo := max64(myStart, targetStart[j]) - myStart
+			hi := min64(myStart+mySize, targetStart[j+1]) - myStart
+			if lo < hi {
+				parts[j] = sorted[lo:hi]
+			}
+		}
+		recv := pro.AllToAll(pr, parts)
+		vals := make([]int64, 0, sizes[rank])
+		for _, seg := range recv {
+			for _, kv := range seg {
+				vals = append(vals, kv.Val)
+			}
+		}
+		pr.AddOps(int64(len(sorted) + len(vals)))
+		out[rank] = vals
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, m, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

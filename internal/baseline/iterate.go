@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"fmt"
+
+	"randperm/internal/pro"
+	"randperm/internal/xrand"
+)
+
+// IterateExchange is the merge-split method: in round r every processor
+// pairs with its butterfly partner (rank XOR 2^(r mod log2 p)); the pair
+// pools its two blocks, permutes the pool uniformly, and splits it back
+// into the original sizes. Every round is perfectly balanced and costs
+// O(m) per processor, but the distribution over permutations is
+// non-uniform for any fixed round count when p > 2 - it only *converges*
+// to uniform, which is exactly the log-factor iteration trick the paper's
+// introduction rules out. Experiment E5 shows one round failing the
+// chi-square test that Algorithm 1 passes.
+//
+// p must be a power of two (the butterfly's requirement, another
+// restriction Algorithm 1 does not share).
+func IterateExchange(blocks [][]int64, seed uint64, rounds int) ([][]int64, *pro.Machine, error) {
+	p := len(blocks)
+	if p&(p-1) != 0 || p == 0 {
+		return nil, nil, fmt.Errorf("baseline: IterateExchange needs a power-of-two p, got %d", p)
+	}
+	logP := 0
+	for 1<<logP < p {
+		logP++
+	}
+	m := pro.NewMachine(p)
+	streams := xrand.NewStreams(seed, p)
+	out := make([][]int64, p)
+
+	err := m.Run(func(pr *pro.Proc) {
+		rank := pr.Rank()
+		cnt := xrand.NewCounting(streams[rank])
+		local := append([]int64(nil), blocks[rank]...)
+
+		for r := 0; r < rounds; r++ {
+			if logP == 0 {
+				break // a single processor has no partner
+			}
+			bit := 1 << (r % logP)
+			partner := rank ^ bit
+			if rank < partner {
+				// Low rank merges, shuffles, returns the
+				// partner's share.
+				theirs := pr.Recv(partner).([]int64)
+				pool := append(local, theirs...)
+				xrand.Shuffle(cnt, pool)
+				keep := len(local)
+				local = pool[:keep]
+				back := append([]int64(nil), pool[keep:]...)
+				pr.Send(partner, back)
+				pr.AddOps(int64(2 * len(pool)))
+			} else {
+				pr.Send(partner, local)
+				local = pr.Recv(partner).([]int64)
+				pr.AddOps(int64(len(local)))
+			}
+			pr.AddDraws(int64(cnt.Count()))
+			cnt.Reset()
+			pr.Barrier()
+		}
+		out[rank] = local
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, m, nil
+}

@@ -1,0 +1,70 @@
+package baseline
+
+import (
+	"randperm/internal/pro"
+	"randperm/internal/xrand"
+)
+
+// RouteResult reports a RandRoute run.
+type RouteResult struct {
+	// Blocks holds the routed items; sizes follow a multinomial law
+	// rather than the prescribed targets.
+	Blocks [][]int64
+	// MaxLoad and MinLoad are the extreme destination loads, the
+	// measured imbalance of experiment E6.
+	MaxLoad int64
+	MinLoad int64
+}
+
+// RandRoute sends every item to an independently uniform destination and
+// shuffles locally: one bounded draw per item, one all-to-all - exactly
+// work-optimal, and the arrangement is as uniform as the destination
+// multiset allows. What it does NOT do is balance: destination loads are
+// multinomial with standard deviation ~sqrt(m), so fixed target block
+// sizes (the contract of Problem 1) are violated on essentially every
+// run. Experiment E6 quantifies the violation against Algorithm 1's
+// exact balance.
+func RandRoute(blocks [][]int64, seed uint64) (RouteResult, *pro.Machine, error) {
+	p := len(blocks)
+	m := pro.NewMachine(p)
+	streams := xrand.NewStreams(seed, p)
+	res := RouteResult{Blocks: make([][]int64, p), MinLoad: int64(1) << 62}
+	loads := make([]int64, p)
+
+	err := m.Run(func(pr *pro.Proc) {
+		rank := pr.Rank()
+		cnt := xrand.NewCounting(streams[rank])
+		local := blocks[rank]
+
+		parts := make([][]int64, p)
+		for _, v := range local {
+			d := xrand.Intn(cnt, p)
+			parts[d] = append(parts[d], v)
+		}
+		pr.AddOps(int64(len(local)))
+		pr.AddDraws(int64(cnt.Count()))
+		cnt.Reset()
+		recv := pro.AllToAll(pr, parts)
+		var got []int64
+		for _, seg := range recv {
+			got = append(got, seg...)
+		}
+		xrand.Shuffle(cnt, got)
+		pr.AddOps(int64(2 * len(got)))
+		pr.AddDraws(int64(cnt.Count()))
+		res.Blocks[rank] = got
+		loads[rank] = int64(len(got))
+	})
+	if err != nil {
+		return RouteResult{}, nil, err
+	}
+	for _, l := range loads {
+		if l > res.MaxLoad {
+			res.MaxLoad = l
+		}
+		if l < res.MinLoad {
+			res.MinLoad = l
+		}
+	}
+	return res, m, nil
+}

@@ -1,0 +1,166 @@
+// Package binom implements the binomial distribution B(n, p). It plays
+// two supporting roles in this repository:
+//
+//   - Cross-validation of the hypergeometric machinery: as the urn
+//     population grows with the white fraction held fixed, h(t, w, b)
+//     converges to B(t, w/(w+b)); a distribution-level test of that
+//     limit exercises both packages against each other.
+//   - Analysis of the dart-throwing baseline: destination loads are
+//     Binomial(n, 1/p) (marginally), so the restart probability of the
+//     capacity check is a binomial tail, which the balance experiments
+//     compare against measurement.
+//
+// The sampler mirrors internal/hyper's design: an exact chop-down
+// inverse transform from the mode, consuming exactly one uniform draw,
+// accurate for the moderate parameter ranges the repository needs.
+package binom
+
+import (
+	"math"
+
+	"randperm/internal/numeric"
+	"randperm/internal/xrand"
+)
+
+// Dist is a binomial distribution: N independent trials with success
+// probability P.
+type Dist struct {
+	N int64
+	P float64
+}
+
+// Valid reports whether the parameters are meaningful.
+func (d Dist) Valid() bool {
+	return d.N >= 0 && d.P >= 0 && d.P <= 1 && !math.IsNaN(d.P)
+}
+
+// Mean returns N*P.
+func (d Dist) Mean() float64 { return float64(d.N) * d.P }
+
+// Variance returns N*P*(1-P).
+func (d Dist) Variance() float64 { return float64(d.N) * d.P * (1 - d.P) }
+
+// Mode returns floor((N+1)P) clamped to [0, N].
+func (d Dist) Mode() int64 {
+	m := int64(math.Floor(float64(d.N+1) * d.P))
+	if m < 0 {
+		return 0
+	}
+	if m > d.N {
+		return d.N
+	}
+	return m
+}
+
+// LogPMF returns ln P(X = k), or -inf outside [0, N].
+func (d Dist) LogPMF(k int64) float64 {
+	if k < 0 || k > d.N {
+		return math.Inf(-1)
+	}
+	switch {
+	case d.P == 0:
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	case d.P == 1:
+		if k == d.N {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return numeric.LogBinom(d.N, k) +
+		float64(k)*math.Log(d.P) + float64(d.N-k)*math.Log1p(-d.P)
+}
+
+// PMF returns P(X = k).
+func (d Dist) PMF(k int64) float64 { return math.Exp(d.LogPMF(k)) }
+
+// Sample draws one exact binomial variate using chop-down inverse
+// transform from the mode: exactly one raw uniform draw, O(sd) arithmetic.
+// It panics on invalid parameters.
+func Sample(src xrand.Source, n int64, p float64) int64 {
+	d := Dist{N: n, P: p}
+	if !d.Valid() {
+		panic("binom: invalid parameters")
+	}
+	switch {
+	case n == 0 || p == 0:
+		return 0
+	case p == 1:
+		return n
+	}
+	// Exploit symmetry to keep the mode small-ish: sample failures
+	// when p > 1/2.
+	if p > 0.5 {
+		return n - Sample(src, n, 1-p)
+	}
+
+	mode := d.Mode()
+	pm := math.Exp(d.LogPMF(mode))
+	u := xrand.Float64Open(src)
+	u -= pm
+	if u <= 0 {
+		return mode
+	}
+	// Ratio recurrences:
+	//   P(k+1)/P(k) = (n-k)/(k+1) * p/(1-p)
+	//   P(k-1)/P(k) = k/(n-k+1) * (1-p)/p
+	odds := p / (1 - p)
+	pr, pl := pm, pm
+	r, l := mode, mode
+	for r < n || l > 0 {
+		if r < n {
+			pr *= float64(n-r) / float64(r+1) * odds
+			r++
+			u -= pr
+			if u <= 0 {
+				return r
+			}
+		}
+		if l > 0 {
+			pl *= float64(l) / (float64(n-l+1) * odds)
+			l--
+			u -= pl
+			if u <= 0 {
+				return l
+			}
+		}
+	}
+	return mode
+}
+
+// Multinomial draws category counts for n independent trials over the
+// given probability weights (which must be non-negative and sum to a
+// positive value). It uses the standard binomial chain: O(len(weights))
+// binomial draws instead of n categorical draws.
+func Multinomial(src xrand.Source, n int64, weights []float64) []int64 {
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("binom: negative multinomial weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("binom: weights must sum to a positive value")
+	}
+	out := make([]int64, len(weights))
+	rem := n
+	wRem := total
+	for i, w := range weights {
+		if rem == 0 {
+			break
+		}
+		if i == len(weights)-1 || w >= wRem {
+			out[i] = rem
+			rem = 0
+			break
+		}
+		k := Sample(src, rem, w/wRem)
+		out[i] = k
+		rem -= k
+		wRem -= w
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package binom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"randperm/internal/hyper"
+	"randperm/internal/xrand"
+)
+
+func TestPMFSumsToOne(t *testing.T) {
+	for _, d := range []Dist{{10, 0.3}, {50, 0.5}, {7, 0.9}, {1, 0.01}} {
+		sum := 0.0
+		for k := int64(0); k <= d.N; k++ {
+			sum += d.PMF(k)
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			t.Fatalf("%+v: PMF sums to %g", d, sum)
+		}
+	}
+}
+
+func TestPMFEdges(t *testing.T) {
+	d := Dist{N: 5, P: 0}
+	if d.PMF(0) != 1 || d.PMF(1) != 0 {
+		t.Fatal("p=0 PMF wrong")
+	}
+	d = Dist{N: 5, P: 1}
+	if d.PMF(5) != 1 || d.PMF(4) != 0 {
+		t.Fatal("p=1 PMF wrong")
+	}
+	if !math.IsInf(Dist{5, 0.5}.LogPMF(-1), -1) || !math.IsInf(Dist{5, 0.5}.LogPMF(6), -1) {
+		t.Fatal("outside support should be -inf")
+	}
+}
+
+func TestMeanAgainstPMF(t *testing.T) {
+	d := Dist{N: 30, P: 0.37}
+	var mean float64
+	for k := int64(0); k <= d.N; k++ {
+		mean += float64(k) * d.PMF(k)
+	}
+	if math.Abs(mean-d.Mean()) > 1e-9 {
+		t.Fatalf("mean %g vs %g", mean, d.Mean())
+	}
+}
+
+func TestSampleExact(t *testing.T) {
+	src := xrand.NewXoshiro256(1)
+	for _, d := range []Dist{{12, 0.25}, {40, 0.5}, {25, 0.85}, {200, 0.03}} {
+		const trials = 30000
+		counts := make([]int64, d.N+1)
+		for i := 0; i < trials; i++ {
+			k := Sample(src, d.N, d.P)
+			if k < 0 || k > d.N {
+				t.Fatalf("%+v: sample %d out of range", d, k)
+			}
+			counts[k]++
+		}
+		stat := 0.0
+		cells := 0
+		var accObs int64
+		var accExp float64
+		flush := func() {
+			if accExp > 0 {
+				diff := float64(accObs) - accExp
+				stat += diff * diff / accExp
+				cells++
+			}
+			accObs, accExp = 0, 0
+		}
+		for k := int64(0); k <= d.N; k++ {
+			accObs += counts[k]
+			accExp += d.PMF(k) * trials
+			if accExp >= 5 {
+				flush()
+			}
+		}
+		flush()
+		df := float64(cells - 1)
+		z := 3.09
+		limit := df * math.Pow(1-2/(9*df)+z*math.Sqrt(2/(9*df)), 3)
+		if stat > limit {
+			t.Errorf("%+v: chi2 %.1f > %.1f", d, stat, limit)
+		}
+	}
+}
+
+func TestSampleOneDraw(t *testing.T) {
+	cnt := xrand.NewCounting(xrand.NewXoshiro256(2))
+	for i := 0; i < 1000; i++ {
+		before := cnt.Count()
+		Sample(cnt, 100, 0.4)
+		if used := cnt.Count() - before; used != 1 {
+			t.Fatalf("binomial sample used %d draws", used)
+		}
+	}
+}
+
+func TestSampleDegenerate(t *testing.T) {
+	src := xrand.NewXoshiro256(3)
+	if Sample(src, 0, 0.5) != 0 {
+		t.Fatal("n=0")
+	}
+	if Sample(src, 10, 0) != 0 {
+		t.Fatal("p=0")
+	}
+	if Sample(src, 10, 1) != 10 {
+		t.Fatal("p=1")
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	src := xrand.NewXoshiro256(4)
+	for _, c := range []struct {
+		n int64
+		p float64
+	}{{-1, 0.5}, {5, -0.1}, {5, 1.1}, {5, math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Sample(%d,%g) did not panic", c.n, c.p)
+				}
+			}()
+			Sample(src, c.n, c.p)
+		}()
+	}
+}
+
+func TestSampleSupportProperty(t *testing.T) {
+	src := xrand.NewXoshiro256(5)
+	f := func(n16 uint16, p8 uint8) bool {
+		n := int64(n16 % 5000)
+		p := float64(p8) / 255
+		k := Sample(src, n, p)
+		return k >= 0 && k <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHypergeometricConvergesToBinomial checks the classical limit: for
+// a huge urn with white fraction q, h(t, w, b) ~ B(t, q). Both samplers
+// are exact, so their empirical CDFs must be KS-close.
+func TestHypergeometricConvergesToBinomial(t *testing.T) {
+	src := xrand.NewXoshiro256(6)
+	const trials = 30000
+	const tDraws = 40
+	const q = 0.3
+	const pop = 4000000 // population >> t^2: distributions near-identical
+	w := int64(q * pop)
+	b := int64(pop) - w
+
+	var hCum, bCum [tDraws + 1]float64
+	for i := 0; i < trials; i++ {
+		hCum[hyper.Sample(src, tDraws, w, b)]++
+		bCum[Sample(src, tDraws, q)]++
+	}
+	var accH, accB, maxDiff float64
+	for k := 0; k <= tDraws; k++ {
+		accH += hCum[k] / trials
+		accB += bCum[k] / trials
+		if d := math.Abs(accH - accB); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	// Two-sample KS at alpha=0.001 plus the O(t/pop) model distance.
+	limit := 1.95*math.Sqrt(2.0/trials) + float64(tDraws)/float64(pop)
+	if maxDiff > limit {
+		t.Fatalf("hyper vs binom KS distance %.4f > %.4f", maxDiff, limit)
+	}
+}
+
+func TestMultinomial(t *testing.T) {
+	src := xrand.NewXoshiro256(7)
+	weights := []float64{1, 2, 3, 4}
+	const n = 10000
+	out := Multinomial(src, n, weights)
+	var total int64
+	for _, v := range out {
+		if v < 0 {
+			t.Fatal("negative count")
+		}
+		total += v
+	}
+	if total != n {
+		t.Fatalf("counts sum to %d", total)
+	}
+	// Category means: n * w_i / 10, sd ~ sqrt(n*q(1-q)) < 50.
+	for i, w := range weights {
+		want := float64(n) * w / 10
+		if math.Abs(float64(out[i])-want) > 6*50 {
+			t.Fatalf("category %d count %d far from %g", i, out[i], want)
+		}
+	}
+}
+
+func TestMultinomialEdge(t *testing.T) {
+	src := xrand.NewXoshiro256(8)
+	out := Multinomial(src, 5, []float64{0, 1, 0})
+	if out[0] != 0 || out[1] != 5 || out[2] != 0 {
+		t.Fatalf("degenerate multinomial = %v", out)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("zero weights accepted")
+			}
+		}()
+		Multinomial(src, 5, []float64{0, 0})
+	}()
+}
+
+func BenchmarkSample(b *testing.B) {
+	src := xrand.NewXoshiro256(1)
+	for i := 0; i < b.N; i++ {
+		Sample(src, 10000, 0.3)
+	}
+}

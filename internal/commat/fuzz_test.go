@@ -1,0 +1,52 @@
+package commat
+
+import (
+	"testing"
+
+	"randperm/internal/xrand"
+)
+
+// FuzzSampleMargins feeds arbitrary margin vectors to both samplers and
+// the streaming sampler; whatever the shape, the result must satisfy the
+// margins exactly.
+func FuzzSampleMargins(f *testing.F) {
+	f.Add([]byte{3, 3}, []byte{2, 4}, uint64(1))
+	f.Add([]byte{0, 0, 10}, []byte{5, 5}, uint64(2))
+	f.Add([]byte{1}, []byte{1}, uint64(3))
+	f.Fuzz(func(t *testing.T, rawRows, rawCols []byte, seed uint64) {
+		if len(rawRows) == 0 || len(rawCols) == 0 ||
+			len(rawRows) > 12 || len(rawCols) > 12 {
+			return
+		}
+		rowM := make([]int64, len(rawRows))
+		var total int64
+		for i, r := range rawRows {
+			rowM[i] = int64(r % 64)
+			total += rowM[i]
+		}
+		// Distribute the same total over the columns deterministically.
+		colM := make([]int64, len(rawCols))
+		rem := total
+		for i := range colM {
+			share := int64(rawCols[i]%64) + 1
+			if i == len(colM)-1 || share > rem {
+				colM[i] = rem
+				rem = 0
+				break
+			}
+			colM[i] = share
+			rem -= share
+		}
+		src := xrand.NewXoshiro256(seed)
+		for name, sample := range map[string]func() *Matrix{
+			"seq":    func() *Matrix { return SampleSeq(src, rowM, colM) },
+			"rec":    func() *Matrix { return SampleRec(src, rowM, colM) },
+			"stream": func() *Matrix { return NewRowSampler(src, rowM, colM).Collect() },
+		} {
+			m := sample()
+			if err := m.CheckMargins(rowM, colM); err != nil {
+				t.Fatalf("%s: %v (rows=%v cols=%v)", name, err, rowM, colM)
+			}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package commat
+
+import (
+	"math"
+
+	"randperm/internal/numeric"
+)
+
+// LogProb returns the log of the exact probability that a uniformly
+// random permutation of n items induces communication matrix m, given the
+// block margins (Problem 2 of the paper). A permutation realizes m iff
+// block B_i contributes exactly a_ij items to block B'_j; counting those
+// permutations gives
+//
+//	P(A) = prod_i m_i! * prod_j m'_j! / ( n! * prod_ij a_ij! )
+//
+// which is the fixed-margin contingency table distribution, the matrix
+// generalization of the multivariate hypergeometric distribution that
+// Section 3 of the paper analyses. It returns -inf if the matrix does not
+// satisfy the margins.
+func LogProb(m *Matrix, rowM, colM []int64) float64 {
+	if m.CheckMargins(rowM, colM) != nil {
+		return math.Inf(-1)
+	}
+	n := SumVec(rowM)
+	logp := -numeric.LnFac(n)
+	for _, mi := range rowM {
+		logp += numeric.LnFac(mi)
+	}
+	for _, mj := range colM {
+		logp += numeric.LnFac(mj)
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for _, a := range m.Row(i) {
+			logp -= numeric.LnFac(a)
+		}
+	}
+	return logp
+}
+
+// Prob returns exp(LogProb).
+func Prob(m *Matrix, rowM, colM []int64) float64 {
+	return math.Exp(LogProb(m, rowM, colM))
+}
+
+// Enumerate calls yield for every matrix with the given margins, in a
+// deterministic (lexicographic) order. The visited matrix is reused
+// between calls; clone it if it must be retained. Enumeration cost grows
+// combinatorially; it is intended for the exact uniformity tests on tiny
+// margins. yield returns false to stop early; Enumerate reports whether
+// the enumeration ran to completion.
+func Enumerate(rowM, colM []int64, yield func(*Matrix) bool) bool {
+	checkProblem(rowM, colM)
+	m := New(len(rowM), len(colM))
+	colRem := make([]int64, len(colM))
+	copy(colRem, colM)
+	return enumRows(m, rowM, colRem, 0, yield)
+}
+
+// enumRows fills row i and recurses. colRem holds the remaining column
+// capacities for rows i..end.
+func enumRows(m *Matrix, rowM, colRem []int64, i int, yield func(*Matrix) bool) bool {
+	if i == len(rowM) {
+		for _, c := range colRem {
+			if c != 0 {
+				return true // infeasible leaf; keep enumerating
+			}
+		}
+		return yield(m)
+	}
+	row := m.Row(i)
+	return enumRow(m, rowM, colRem, i, 0, rowM[i], row, yield)
+}
+
+// enumRow fills row i column by column with every feasible split of the
+// remaining row budget.
+func enumRow(m *Matrix, rowM, colRem []int64, i, j int, budget int64, row []int64, yield func(*Matrix) bool) bool {
+	if j == len(row) {
+		if budget != 0 {
+			return true
+		}
+		return enumRows(m, rowM, colRem, i+1, yield)
+	}
+	maxV := budget
+	if colRem[j] < maxV {
+		maxV = colRem[j]
+	}
+	// Feasibility pruning: the remaining columns must be able to absorb
+	// what is left of the budget.
+	var restCap int64
+	for _, c := range colRem[j+1:] {
+		restCap += c
+	}
+	for v := int64(0); v <= maxV; v++ {
+		if budget-v > restCap {
+			continue
+		}
+		row[j] = v
+		colRem[j] -= v
+		ok := enumRow(m, rowM, colRem, i, j+1, budget-v, row, yield)
+		colRem[j] += v
+		row[j] = 0
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of matrices with the given margins (the number
+// of contingency tables). Combinatorial; small margins only.
+func Count(rowM, colM []int64) int64 {
+	var n int64
+	Enumerate(rowM, colM, func(*Matrix) bool {
+		n++
+		return true
+	})
+	return n
+}

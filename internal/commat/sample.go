@@ -1,0 +1,82 @@
+package commat
+
+import (
+	"randperm/internal/mhyper"
+	"randperm/internal/xrand"
+)
+
+// SampleSeq draws a random communication matrix with the given margins
+// from the exact permutation-induced distribution, using the paper's
+// Algorithm 3: rows are peeled off from the bottom; at step i the column
+// capacities still available are split between row i and everything above
+// it by one multivariate hypergeometric draw (Proposition 6 with
+// i1 = p-1).
+//
+// Cost: O(p * p') basic operations and O(p * p') hypergeometric samples,
+// matching Proposition 7.
+func SampleSeq(src xrand.Source, rowM, colM []int64) *Matrix {
+	checkProblem(rowM, colM)
+	p, pp := len(rowM), len(colM)
+	m := New(p, pp)
+
+	colRem := make([]int64, pp) // remaining capacity of each target block
+	copy(colRem, colM)
+	toUp := make([]int64, pp)
+
+	// Mass of rows strictly above row i; peeled top-down below.
+	var above int64
+	for _, v := range rowM {
+		above += v
+	}
+	for i := p - 1; i >= 0; i-- {
+		above -= rowM[i]
+		// Split the remaining column capacities: `above` items
+		// belong to rows 0..i-1 ("up"), the rest is row i's share.
+		mhyper.SampleInto(src, above, colRem, toUp)
+		row := m.Row(i)
+		for j := range colRem {
+			row[j] = colRem[j] - toUp[j]
+			colRem[j] = toUp[j]
+		}
+	}
+	return m
+}
+
+// SampleRec draws the same distribution with the paper's Algorithm 4
+// (RecMat): the rows are split in half, the column capacities are divided
+// between the two halves by one multivariate hypergeometric draw, and the
+// halves are solved recursively and independently (Proposition 6). The
+// recursion is balanced (q = p/2), which is the arrangement Algorithms 5
+// and 6 parallelize.
+func SampleRec(src xrand.Source, rowM, colM []int64) *Matrix {
+	checkProblem(rowM, colM)
+	m := New(len(rowM), len(colM))
+	colRem := make([]int64, len(colM))
+	copy(colRem, colM)
+	sampleRec(src, rowM, colRem, m, 0)
+	return m
+}
+
+// sampleRec fills rows [rowOff, rowOff+len(rowM)) of out; colRem is the
+// column capacity vector dedicated to this block of rows and is consumed.
+func sampleRec(src xrand.Source, rowM []int64, colRem []int64, out *Matrix, rowOff int) {
+	if len(rowM) == 0 {
+		return
+	}
+	if len(rowM) == 1 {
+		copy(out.Row(rowOff), colRem)
+		return
+	}
+	q := len(rowM) / 2
+	var upper int64 // mass of the upper half rowM[q:]
+	for _, v := range rowM[q:] {
+		upper += v
+	}
+	toUp := mhyper.Sample(src, upper, colRem)
+	toLo := make([]int64, len(colRem))
+	for j := range colRem {
+		toLo[j] = colRem[j] - toUp[j]
+	}
+	sampleRec(src, rowM[:q], toLo, out, rowOff)
+	sampleRec(src, rowM[q:], toUp, out, rowOff+q)
+}

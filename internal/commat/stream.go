@@ -1,0 +1,78 @@
+package commat
+
+import (
+	"randperm/internal/mhyper"
+	"randperm/internal/xrand"
+)
+
+// RowSampler draws a communication matrix row by row, top to bottom,
+// without ever materializing more than the O(p') column-capacity state.
+// The distribution over complete matrices is identical to SampleSeq
+// (Proposition 6 applied with the split {row i} versus {rows > i}).
+//
+// The streaming form matters when the row count is large and rows are
+// consumed immediately - the external-memory shuffle has one row per
+// data chunk, so a matrix for n items in M-sized chunks would otherwise
+// cost O(n/M * fanout) memory.
+type RowSampler struct {
+	src    xrand.Source
+	colRem []int64 // remaining target capacities
+	rowM   []int64 // not yet emitted source sizes
+	next   int     // index of the next row to emit
+	below  int64   // total mass of rows strictly after next
+}
+
+// NewRowSampler prepares streaming row sampling for the given margins.
+// It panics if the margin totals differ (same contract as SampleSeq).
+func NewRowSampler(src xrand.Source, rowM, colM []int64) *RowSampler {
+	checkProblem(rowM, colM)
+	rs := &RowSampler{
+		src:    src,
+		colRem: append([]int64(nil), colM...),
+		rowM:   rowM,
+	}
+	for _, m := range rowM {
+		rs.below += m
+	}
+	return rs
+}
+
+// Rows returns the total number of rows.
+func (rs *RowSampler) Rows() int { return len(rs.rowM) }
+
+// Remaining returns how many rows have not been emitted yet.
+func (rs *RowSampler) Remaining() int { return len(rs.rowM) - rs.next }
+
+// Next fills out with the next row of the matrix and reports whether a
+// row was produced; it returns false after the last row. len(out) must
+// equal the number of columns.
+func (rs *RowSampler) Next(out []int64) bool {
+	if rs.next >= len(rs.rowM) {
+		return false
+	}
+	if len(out) != len(rs.colRem) {
+		panic("commat: RowSampler output length mismatch")
+	}
+	rs.below -= rs.rowM[rs.next]
+	// Split the remaining capacities between this row (mass m_i) and
+	// everything below it: the row's share is multivariate
+	// hypergeometric with t = m_i over the remaining capacities.
+	mhyper.SampleInto(rs.src, rs.rowM[rs.next], rs.colRem, out)
+	for j, v := range out {
+		rs.colRem[j] -= v
+	}
+	rs.next++
+	return true
+}
+
+// Collect drains the sampler into a full matrix; a convenience for tests
+// and callers that want SampleSeq semantics through the streaming path.
+func (rs *RowSampler) Collect() *Matrix {
+	m := New(rs.Remaining(), len(rs.colRem))
+	for i := 0; i < m.Rows(); i++ {
+		if !rs.Next(m.Row(i)) {
+			break
+		}
+	}
+	return m
+}

@@ -1,0 +1,85 @@
+package commat
+
+import (
+	"testing"
+
+	"randperm/internal/xrand"
+)
+
+func TestRowSamplerMargins(t *testing.T) {
+	src := xrand.NewXoshiro256(3)
+	rowM := []int64{4, 0, 7, 2}
+	colM := []int64{5, 5, 3}
+	rs := NewRowSampler(src, rowM, colM)
+	if rs.Rows() != 4 || rs.Remaining() != 4 {
+		t.Fatal("row accounting wrong")
+	}
+	m := rs.Collect()
+	if err := m.CheckMargins(rowM, colM); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Remaining() != 0 {
+		t.Fatal("sampler not drained")
+	}
+	if rs.Next(make([]int64, 3)) {
+		t.Fatal("Next after drain returned a row")
+	}
+}
+
+func TestRowSamplerMatchesSeqLaw(t *testing.T) {
+	// The streaming sampler must implement the same distribution as
+	// SampleSeq: chi-square its matrices against the exact law.
+	src := xrand.NewXoshiro256(5)
+	rowM := []int64{3, 2}
+	colM := []int64{2, 3}
+	chiSquareMatrices(t, "rowsampler 2x2", rowM, colM, func() *Matrix {
+		return NewRowSampler(src, rowM, colM).Collect()
+	})
+	rowM3 := []int64{2, 2, 2}
+	colM3 := []int64{3, 2, 1}
+	chiSquareMatrices(t, "rowsampler 3x3", rowM3, colM3, func() *Matrix {
+		return NewRowSampler(src, rowM3, colM3).Collect()
+	})
+}
+
+func TestRowSamplerPanicsOnMismatch(t *testing.T) {
+	src := xrand.NewXoshiro256(7)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("margin mismatch accepted")
+			}
+		}()
+		NewRowSampler(src, []int64{1}, []int64{2})
+	}()
+	rs := NewRowSampler(src, []int64{2}, []int64{1, 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("wrong output width accepted")
+			}
+		}()
+		rs.Next(make([]int64, 3))
+	}()
+}
+
+func TestRowSamplerStepwise(t *testing.T) {
+	src := xrand.NewXoshiro256(9)
+	rowM := []int64{5, 5, 5}
+	colM := []int64{7, 8}
+	rs := NewRowSampler(src, rowM, colM)
+	row := make([]int64, 2)
+	var colSum [2]int64
+	rows := 0
+	for rs.Next(row) {
+		if row[0]+row[1] != rowM[rows] {
+			t.Fatalf("row %d sums to %d", rows, row[0]+row[1])
+		}
+		colSum[0] += row[0]
+		colSum[1] += row[1]
+		rows++
+	}
+	if rows != 3 || colSum[0] != 7 || colSum[1] != 8 {
+		t.Fatalf("stepwise drain wrong: %d rows, cols %v", rows, colSum)
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"randperm/internal/commat"
+	"randperm/internal/hyper"
+)
+
+func TestSampleRowsMarginsAllAlgs(t *testing.T) {
+	for _, alg := range []MatrixAlg{MatrixSeq, MatrixLog, MatrixOpt} {
+		for _, p := range []int{1, 2, 3, 4, 6, 8, 12, 16, 31, 32} {
+			rowM := EvenBlocks(int64(p)*257, p)
+			colM := EvenBlocks(int64(p)*257, p)
+			m, _, err := SampleRows(p, 9+uint64(p), rowM, colM, alg)
+			if err != nil {
+				t.Fatalf("alg=%v p=%d: %v", alg, p, err)
+			}
+			if err := m.CheckMargins(rowM, colM); err != nil {
+				t.Fatalf("alg=%v p=%d: %v", alg, p, err)
+			}
+		}
+	}
+}
+
+func TestSampleRowsRaggedMargins(t *testing.T) {
+	rowM := []int64{100, 0, 50, 250, 1, 99}
+	colM := []int64{250, 250, 0, 0, 0, 0}
+	for _, alg := range []MatrixAlg{MatrixSeq, MatrixLog, MatrixOpt} {
+		m, _, err := SampleRows(6, 13, rowM, colM, alg)
+		if err != nil {
+			t.Fatalf("alg=%v: %v", alg, err)
+		}
+		if err := m.CheckMargins(rowM, colM); err != nil {
+			t.Fatalf("alg=%v: %v", alg, err)
+		}
+	}
+}
+
+func TestSampleRowsWrongShape(t *testing.T) {
+	if _, _, err := SampleRows(3, 1, []int64{1, 2}, []int64{1, 2}, MatrixOpt); err == nil {
+		t.Fatal("row margin count != p accepted")
+	}
+}
+
+// TestParallelEntryDistribution checks Proposition 3 on the parallel
+// samplers: entry a_00 must follow h(m'_0, m_0, n-m_0).
+func TestParallelEntryDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	const p = 5
+	rowM := []int64{6, 4, 8, 2, 10}
+	colM := []int64{7, 7, 6, 5, 5}
+	n := int64(30)
+	d := hyper.Dist{T: colM[0], W: rowM[0], B: n - rowM[0]}
+	lo, hi := d.SupportMin(), d.SupportMax()
+
+	for _, alg := range []MatrixAlg{MatrixLog, MatrixOpt} {
+		const trials = 8000
+		counts := make([]int64, hi-lo+1)
+		for tr := 0; tr < trials; tr++ {
+			m, _, err := SampleRows(p, uint64(tr)*2654435761+1, rowM, colM, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[m.At(0, 0)-lo]++
+		}
+		stat := 0.0
+		cells := 0
+		for k := lo; k <= hi; k++ {
+			exp := d.PMF(k) * trials
+			if exp < 5 {
+				continue
+			}
+			diff := float64(counts[k-lo]) - exp
+			stat += diff * diff / exp
+			cells++
+		}
+		df := float64(cells - 1)
+		z := 3.09
+		limit := df * math.Pow(1-2/(9*df)+z*math.Sqrt(2/(9*df)), 3)
+		if stat > limit {
+			t.Errorf("alg=%v: entry distribution chi2 = %.1f > %.1f", alg, stat, limit)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialLaw compares the full matrix distribution
+// of the parallel algorithms against the exact law on a tiny instance.
+func TestParallelMatchesSequentialLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	const p = 3
+	rowM := []int64{2, 2, 2}
+	colM := []int64{2, 2, 2}
+	probs := make(map[string]float64)
+	commat.Enumerate(rowM, colM, func(m *commat.Matrix) bool {
+		probs[m.String()] = commat.Prob(m, rowM, colM)
+		return true
+	})
+	for _, alg := range []MatrixAlg{MatrixLog, MatrixOpt} {
+		const trials = 20000
+		counts := make(map[string]int64)
+		for tr := 0; tr < trials; tr++ {
+			m, _, err := SampleRows(p, uint64(tr)*6364136223846793005+3, rowM, colM, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := m.String()
+			if _, ok := probs[key]; !ok {
+				t.Fatalf("alg=%v sampled an impossible matrix:\n%s", alg, key)
+			}
+			counts[key]++
+		}
+		stat := 0.0
+		cells := 0
+		for key, pr := range probs {
+			exp := pr * trials
+			if exp < 5 {
+				continue
+			}
+			diff := float64(counts[key]) - exp
+			stat += diff * diff / exp
+			cells++
+		}
+		df := float64(cells - 1)
+		z := 3.09
+		limit := df * math.Pow(1-2/(9*df)+z*math.Sqrt(2/(9*df)), 3)
+		if stat > limit {
+			t.Errorf("alg=%v: matrix law chi2 = %.1f > %.1f (df %.0f)", alg, stat, limit, df)
+		}
+	}
+}
+
+// TestParallelNonSquareLaw checks the parallel samplers on a p x p'
+// problem with p' != p against the exact law (the general Problem 2).
+func TestParallelNonSquareLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	const p = 4
+	rowM := []int64{2, 1, 2, 1}
+	colM := []int64{4, 2} // p' = 2
+	probs := make(map[string]float64)
+	commat.Enumerate(rowM, colM, func(m *commat.Matrix) bool {
+		probs[m.String()] = commat.Prob(m, rowM, colM)
+		return true
+	})
+	for _, alg := range []MatrixAlg{MatrixLog, MatrixOpt} {
+		const trials = 20000
+		counts := make(map[string]int64)
+		for tr := 0; tr < trials; tr++ {
+			m, _, err := SampleRows(p, uint64(tr)*0x9E3779B97F4A7C15+2, rowM, colM, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := m.String()
+			if _, ok := probs[key]; !ok {
+				t.Fatalf("alg=%v: impossible matrix\n%s", alg, key)
+			}
+			counts[key]++
+		}
+		stat := 0.0
+		cells := 0
+		for key, pr := range probs {
+			exp := pr * trials
+			if exp < 5 {
+				continue
+			}
+			diff := float64(counts[key]) - exp
+			stat += diff * diff / exp
+			cells++
+		}
+		df := float64(cells - 1)
+		z := 3.09
+		limit := df * math.Pow(1-2/(9*df)+z*math.Sqrt(2/(9*df)), 3)
+		if stat > limit {
+			t.Errorf("alg=%v non-square law: chi2 %.1f > %.1f (df %.0f)", alg, stat, limit, df)
+		}
+	}
+}
+
+// TestOptResourceBounds verifies the Theta(p) per-processor bound of
+// Algorithm 6 against the Theta(p log p) of Algorithm 5, using counted
+// operations rather than wall time.
+func TestOptResourceBounds(t *testing.T) {
+	perProcOps := func(p int, alg MatrixAlg) int64 {
+		margins := EvenBlocks(int64(p)*1024, p)
+		_, m, err := SampleRows(p, 21, margins, margins, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Report().MaxOps()
+	}
+	// Growth from p=32 to p=128 (factor 4): Alg6 should grow ~4x,
+	// Alg5 ~4*log(128)/log(32) = 5.6x, seq-at-root 16x. Allow slack.
+	for _, alg := range []MatrixAlg{MatrixLog, MatrixOpt} {
+		small := perProcOps(32, alg)
+		big := perProcOps(128, alg)
+		growth := float64(big) / float64(small)
+		var maxGrowth float64
+		switch alg {
+		case MatrixOpt:
+			maxGrowth = 6 // Theta(p): ~4, generous slack
+		case MatrixLog:
+			maxGrowth = 8.5 // Theta(p log p): ~5.6
+		}
+		if growth > maxGrowth {
+			t.Errorf("alg=%v per-proc ops grew %.1fx from p=32 to p=128 (limit %.1f)",
+				alg, growth, maxGrowth)
+		}
+	}
+	// Algorithm 6 must beat Algorithm 5 per processor at scale.
+	if o6, o5 := perProcOps(128, MatrixOpt), perProcOps(128, MatrixLog); o6 >= o5 {
+		t.Errorf("Alg6 per-proc ops (%d) not below Alg5 (%d) at p=128", o6, o5)
+	}
+}
+
+func TestSampleRowsDeterministic(t *testing.T) {
+	margins := EvenBlocks(4096, 8)
+	for _, alg := range []MatrixAlg{MatrixSeq, MatrixLog, MatrixOpt} {
+		a, _, err := SampleRows(8, 77, margins, margins, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := SampleRows(8, 77, margins, margins, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("alg=%v: same seed produced different matrices", alg)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"randperm/internal/pro"
+	"randperm/internal/xrand"
+)
+
+// SampleK draws a uniformly random k-subset of the distributed items -
+// the paper's second motivation ("good generation of random samples to
+// test algorithms") solved with the same machinery as the permutation:
+// the per-block sample counts are exactly the first column of a
+// communication matrix with target margins (k, n-k), so they are sampled
+// with the configured matrix algorithm (every processor learns only its
+// own count, preserving the Theta(p) bounds), and each processor then
+// picks that many local items by a partial Fisher-Yates pass.
+//
+// The result holds each processor's chosen items (sub[i] drawn from
+// blocks[i]); concatenated, they are a uniform k-subset: every one of
+// the C(n, k) subsets is equally likely. Input blocks are not modified.
+// Work is O(m) per processor plus the matrix term, randomness O(1) draws
+// per selected item.
+func SampleK[T any](blocks [][]T, k int64, cfg Config) ([][]T, *pro.Machine, error) {
+	p := len(blocks)
+	if p == 0 {
+		return nil, nil, fmt.Errorf("core: SampleK needs at least one block")
+	}
+	rowM := BlockSizes(blocks)
+	var n int64
+	for _, m := range rowM {
+		n += m
+	}
+	if k < 0 || k > n {
+		return nil, nil, fmt.Errorf("core: sample size %d outside [0, %d]", k, n)
+	}
+
+	m := pro.NewMachine(p)
+	streams := xrand.NewStreams(cfg.Seed, p)
+	out := make([][]T, p)
+	colM := []int64{k, n - k}
+
+	err := m.Run(func(pr *pro.Proc) {
+		rank := pr.Rank()
+		cnt := xrand.NewCounting(streams[rank])
+
+		// Column 0 of the (p x 2) communication matrix: how many of
+		// this block's items belong to the sample.
+		row := SampleRow(pr, cnt, rowM, colM, cfg.Matrix)
+		take := row[0]
+		pr.Barrier()
+
+		// Partial Fisher-Yates: after i swaps the prefix holds a
+		// uniform i-subset in uniform order.
+		local := append([]T(nil), blocks[rank]...)
+		for i := int64(0); i < take; i++ {
+			j := i + xrand.Int64n(cnt, int64(len(local))-i)
+			local[i], local[j] = local[j], local[i]
+		}
+		out[rank] = local[:take:take]
+		pr.AddOps(take + int64(len(local)))
+		pr.AddDraws(int64(cnt.Count()))
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, m, nil
+}
+
+// SampleKSlice is SampleK for a flat slice cut into p even blocks,
+// returning the flat sample.
+func SampleKSlice[T any](data []T, k int64, p int, cfg Config) ([]T, *pro.Machine, error) {
+	blocks, err := Split(data, EvenBlocks(int64(len(data)), p))
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, m, err := SampleK(blocks, k, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Flatten(sub), m, nil
+}

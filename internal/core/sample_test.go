@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"randperm/internal/hyper"
+	"randperm/internal/stats"
+)
+
+func TestSampleKBasics(t *testing.T) {
+	n := int64(1000)
+	for _, alg := range []MatrixAlg{MatrixSeq, MatrixLog, MatrixOpt} {
+		for _, p := range []int{1, 2, 5, 8} {
+			for _, k := range []int64{0, 1, 100, 999, 1000} {
+				blocks, err := Split(Iota(n), EvenBlocks(n, p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sub, _, err := SampleK(blocks, k, Config{Seed: 3, Matrix: alg})
+				if err != nil {
+					t.Fatalf("alg=%v p=%d k=%d: %v", alg, p, k, err)
+				}
+				flat := Flatten(sub)
+				if int64(len(flat)) != k {
+					t.Fatalf("alg=%v p=%d k=%d: got %d items", alg, p, k, len(flat))
+				}
+				seen := make(map[int64]bool)
+				for _, v := range flat {
+					if v < 0 || v >= n || seen[v] {
+						t.Fatalf("alg=%v p=%d k=%d: invalid item %d", alg, p, k, v)
+					}
+					seen[v] = true
+				}
+				// Per-block subsets must come from that block.
+				sizes := EvenBlocks(n, p)
+				off := int64(0)
+				for i, s := range sub {
+					for _, v := range s {
+						if v < off || v >= off+sizes[i] {
+							t.Fatalf("item %d leaked across blocks", v)
+						}
+					}
+					off += sizes[i]
+				}
+			}
+		}
+	}
+}
+
+func TestSampleKErrors(t *testing.T) {
+	blocks := [][]int64{{1, 2}, {3}}
+	if _, _, err := SampleK(blocks, 4, Config{}); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, _, err := SampleK(blocks, -1, Config{}); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, _, err := SampleK([][]int64{}, 0, Config{}); err == nil {
+		t.Fatal("empty machine accepted")
+	}
+}
+
+func TestSampleKProperty(t *testing.T) {
+	f := func(n16 uint16, p8, k8 uint8) bool {
+		n := int64(n16%2000) + 1
+		p := int(p8%8) + 1
+		k := int64(k8) % (n + 1)
+		blocks, err := Split(Iota(n), EvenBlocks(n, p))
+		if err != nil {
+			return false
+		}
+		sub, _, err := SampleK(blocks, k, Config{Seed: uint64(n16) + 7, Matrix: MatrixOpt})
+		if err != nil {
+			return false
+		}
+		return int64(len(Flatten(sub))) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleKCountDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	// The count taken from block 0 must follow h(k, m_0, n - m_0).
+	n := int64(30)
+	k := int64(10)
+	sizes := []int64{8, 12, 10}
+	d := hyper.Dist{T: k, W: sizes[0], B: n - sizes[0]}
+	lo, hi := d.SupportMin(), d.SupportMax()
+	const trials = 8000
+	counts := make([]int64, hi-lo+1)
+	for tr := 0; tr < trials; tr++ {
+		blocks, err := Split(Iota(n), sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, _, err := SampleK(blocks, k, Config{Seed: uint64(tr)*2654435761 + 5, Matrix: MatrixOpt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[int64(len(sub[0]))-lo]++
+	}
+	probs := make([]float64, hi-lo+1)
+	for j := lo; j <= hi; j++ {
+		probs[j-lo] = d.PMF(j)
+	}
+	res, err := stats.ChiSquareBinned(counts, probs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.001) {
+		t.Errorf("block count distribution mismatch: %s", res)
+	}
+}
+
+func TestSampleKUniformOverSubsets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	// Exhaustive: all C(8,3) = 56 subsets equally likely, across
+	// matrix algorithms and a ragged layout.
+	n := int64(8)
+	k := int64(3)
+	total := stats.Binomial(int(n), int(k))
+	for _, alg := range []MatrixAlg{MatrixSeq, MatrixOpt} {
+		const trials = 28000
+		counts := make([]int64, total)
+		for tr := 0; tr < trials; tr++ {
+			blocks, err := Split(Iota(n), []int64{3, 1, 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, _, err := SampleK(blocks, k, Config{
+				Seed:   uint64(tr)*0x9E3779B97F4A7C15 + uint64(alg) + 13,
+				Matrix: alg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[stats.RankCombInt64(Flatten(sub), int(n))]++
+		}
+		res, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(0.0005) {
+			t.Errorf("alg=%v: subset sampling non-uniform: %s", alg, res)
+		}
+	}
+}
+
+func TestSampleKDoesNotMutateInput(t *testing.T) {
+	n := int64(100)
+	blocks, _ := Split(Iota(n), EvenBlocks(n, 4))
+	snapshot := Flatten(blocks)
+	if _, _, err := SampleK(blocks, 37, Config{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range Flatten(blocks) {
+		if v != snapshot[i] {
+			t.Fatal("SampleK mutated its input")
+		}
+	}
+}
+
+func TestSampleKSlice(t *testing.T) {
+	sample, m, err := SampleKSlice(Iota(500), 50, 5, Config{Seed: 9, Matrix: MatrixLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 50 {
+		t.Fatalf("sample size %d", len(sample))
+	}
+	rep := m.Report()
+	if rep.MaxOps() == 0 || rep.MaxDraws() == 0 {
+		t.Fatal("cost accounting missing")
+	}
+	// Balance: the sampling work is O(m) per processor.
+	if rep.MaxOps() > 4*(500/5+50) {
+		t.Fatalf("per-proc ops %d too high", rep.MaxOps())
+	}
+}
+
+func TestSampleKMeanFraction(t *testing.T) {
+	// Law of large numbers check at a size too big for exhaustive
+	// ranking: the sample mean of the chosen values must approximate
+	// the population mean.
+	n := int64(100000)
+	k := int64(20000)
+	sample, _, err := SampleKSlice(Iota(n), k, 8, Config{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range sample {
+		sum += float64(v)
+	}
+	mean := sum / float64(k)
+	want := float64(n-1) / 2
+	sd := float64(n) / math.Sqrt(12*float64(k))
+	if math.Abs(mean-want) > 6*sd {
+		t.Fatalf("sample mean %.1f far from population mean %.1f", mean, want)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"randperm/internal/stats"
+)
+
+// TestAlg1Uniform is the unit-test version of experiment E5: every matrix
+// algorithm must generate all n! permutations equally often.
+func TestAlg1Uniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	const n = 4
+	const trials = 24000
+	nf := stats.Factorial(n)
+	layouts := [][]int64{
+		{2, 2},
+		{3, 1},
+		{1, 1, 2},
+	}
+	for _, alg := range []MatrixAlg{MatrixSeq, MatrixLog, MatrixOpt} {
+		for _, sizes := range layouts {
+			counts := make([]int64, nf)
+			for tr := 0; tr < trials; tr++ {
+				blocks, err := Split(Iota(n), sizes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, _, err := Permute(blocks, sizes, Config{
+					Seed:   uint64(tr)*0x9E3779B97F4A7C15 + uint64(alg),
+					Matrix: alg,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts[stats.RankPermInt64(Flatten(out))]++
+			}
+			res, err := stats.ChiSquareUniform(counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Reject(0.0005) {
+				t.Errorf("alg=%v layout=%v: non-uniform, %s", alg, sizes, res)
+			}
+		}
+	}
+}
+
+// TestAlg1UniformChangingShape exercises the fully general Problem 1: the
+// output block structure differs from the input structure; uniformity
+// must still hold over the flattened vector.
+func TestAlg1UniformChangingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	const n = 4
+	const trials = 24000
+	nf := stats.Factorial(n)
+	inSizes := []int64{3, 1}
+	outSizes := []int64{1, 3}
+	counts := make([]int64, nf)
+	for tr := 0; tr < trials; tr++ {
+		blocks, err := Split(Iota(n), inSizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := Permute(blocks, outSizes, Config{
+			Seed:   uint64(tr)*0xD1342543DE82EF95 + 17,
+			Matrix: MatrixOpt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[stats.RankPermInt64(Flatten(out))]++
+	}
+	res, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.0005) {
+		t.Errorf("shape-changing permute non-uniform: %s", res)
+	}
+}

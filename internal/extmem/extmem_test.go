@@ -1,0 +1,254 @@
+package extmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"randperm/internal/stats"
+	"randperm/internal/xrand"
+)
+
+func iotaVec(n int64, b int) *Vector {
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	return FromSlice(data, b)
+}
+
+func isPerm(data []int64) bool {
+	seen := make([]bool, len(data))
+	for _, v := range data {
+		if v < 0 || v >= int64(len(data)) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(10, 4)
+	if v.Len() != 10 || v.BlockSize() != 4 || v.Blocks() != 3 {
+		t.Fatalf("geometry wrong: %d %d %d", v.Len(), v.BlockSize(), v.Blocks())
+	}
+	buf := []int64{1, 2, 3, 4}
+	v.WriteBlock(0, buf)
+	got := make([]int64, 4)
+	if n := v.ReadBlock(0, got); n != 4 || got[2] != 3 {
+		t.Fatalf("roundtrip failed: n=%d got=%v", n, got)
+	}
+	// Final partial block has extent 2.
+	if n := v.ReadBlock(2, got); n != 2 {
+		t.Fatalf("partial block read %d items", n)
+	}
+	if v.Reads() != 2 || v.Writes() != 1 || v.IOs() != 3 {
+		t.Fatalf("counters: %d reads %d writes", v.Reads(), v.Writes())
+	}
+	v.ResetCounters()
+	if v.IOs() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestVectorPanics(t *testing.T) {
+	v := NewVector(10, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range block accepted")
+			}
+		}()
+		v.ReadBlock(3, make([]int64, 4))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("oversized write accepted")
+			}
+		}()
+		v.WriteBlock(2, []int64{1, 2, 3}) // extent 2
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bad geometry accepted")
+			}
+		}()
+		NewVector(-1, 4)
+	}()
+}
+
+func TestReadWriteRangeUnaligned(t *testing.T) {
+	v := iotaVec(100, 8)
+	buf := make([]int64, 17)
+	readRange(v, 13, 30, buf)
+	for i := range buf {
+		if buf[i] != int64(13+i) {
+			t.Fatalf("readRange wrong at %d: %d", i, buf[i])
+		}
+	}
+	for i := range buf {
+		buf[i] = -buf[i]
+	}
+	writeRange(v, 13, 30, buf)
+	snap := v.Snapshot()
+	for i := int64(0); i < 100; i++ {
+		want := i
+		if i >= 13 && i < 30 {
+			want = -i
+		}
+		if snap[i] != want {
+			t.Fatalf("writeRange corrupted position %d: %d", i, snap[i])
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	src := xrand.NewXoshiro256(1)
+	cases := []struct {
+		n   int64
+		b   int
+		mem int64
+	}{
+		{100, 8, 32},      // forces recursion
+		{1000, 16, 64},    // deep recursion
+		{1000, 16, 2000},  // single in-memory pass
+		{4096, 32, 256},   // two levels
+		{777, 10, 40},     // nothing aligns
+		{65536, 64, 4096}, // larger
+	}
+	for _, c := range cases {
+		v := iotaVec(c.n, c.b)
+		if err := Shuffle(src, v, ShuffleOptions{Memory: c.mem}); err != nil {
+			t.Fatalf("n=%d b=%d mem=%d: %v", c.n, c.b, c.mem, err)
+		}
+		if !isPerm(v.Snapshot()) {
+			t.Fatalf("n=%d b=%d mem=%d: not a permutation", c.n, c.b, c.mem)
+		}
+	}
+}
+
+func TestShuffleProperty(t *testing.T) {
+	src := xrand.NewXoshiro256(2)
+	f := func(n16 uint16, b8, m8 uint8) bool {
+		n := int64(n16%4000) + 1
+		b := int(b8%32) + 1
+		mem := int64(4*b) + int64(m8)*int64(b)
+		v := iotaVec(n, b)
+		if err := Shuffle(src, v, ShuffleOptions{Memory: mem}); err != nil {
+			return false
+		}
+		return isPerm(v.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleRejectsTinyMemory(t *testing.T) {
+	v := iotaVec(100, 8)
+	if err := Shuffle(xrand.NewXoshiro256(3), v, ShuffleOptions{Memory: 16}); err == nil {
+		t.Fatal("memory below 4 blocks accepted")
+	}
+}
+
+func TestNaiveShuffleIsPermutation(t *testing.T) {
+	src := xrand.NewXoshiro256(4)
+	for _, n := range []int64{1, 2, 100, 1000} {
+		v := iotaVec(n, 8)
+		NaiveShuffle(src, v)
+		if !isPerm(v.Snapshot()) {
+			t.Fatalf("n=%d: not a permutation", n)
+		}
+	}
+}
+
+func TestShuffleIOComplexity(t *testing.T) {
+	// The distribution shuffle must cost O((n/B) log_K(n/M)) I/Os; the
+	// naive shuffle Theta(n). Compare both against n/B.
+	src := xrand.NewXoshiro256(5)
+	const n = 1 << 16
+	const b = 64
+	const mem = 1 << 12
+	v := iotaVec(n, b)
+	if err := Shuffle(src, v, ShuffleOptions{Memory: mem}); err != nil {
+		t.Fatal(err)
+	}
+	blocks := int64(n / b)
+	// Passes: log_K(n/mem) with K = mem/2B = 32 -> 1 level of
+	// recursion; allow a generous constant (distribute + recurse +
+	// copy back, unaligned edges).
+	if v.IOs() > 20*blocks {
+		t.Fatalf("distribution shuffle used %d I/Os for %d blocks", v.IOs(), blocks)
+	}
+
+	vn := iotaVec(n, b)
+	NaiveShuffle(src, vn)
+	if vn.IOs() < 10*blocks {
+		t.Fatalf("naive shuffle used only %d I/Os; expected Theta(n)=%d scale", vn.IOs(), n)
+	}
+	if vn.IOs() < 4*v.IOs() {
+		t.Fatalf("naive (%d I/Os) should far exceed distribution (%d I/Os)", vn.IOs(), v.IOs())
+	}
+}
+
+func TestShuffleUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	// Exact uniformity with forced recursion: n=5, B=1, M=4 blocks.
+	src := xrand.NewXoshiro256(6)
+	const n = 5
+	const trials = 60000
+	counts := make([]int64, stats.Factorial(n))
+	for tr := 0; tr < trials; tr++ {
+		v := iotaVec(n, 1)
+		if err := Shuffle(src, v, ShuffleOptions{Memory: 4}); err != nil {
+			t.Fatal(err)
+		}
+		counts[stats.RankPermInt64(v.Snapshot())]++
+	}
+	res, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.0005) {
+		t.Errorf("external shuffle non-uniform: %s", res)
+	}
+}
+
+func TestNaiveShuffleUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	src := xrand.NewXoshiro256(7)
+	const n = 5
+	const trials = 60000
+	counts := make([]int64, stats.Factorial(n))
+	for tr := 0; tr < trials; tr++ {
+		v := iotaVec(n, 2)
+		NaiveShuffle(src, v)
+		counts[stats.RankPermInt64(v.Snapshot())]++
+	}
+	res, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.0005) {
+		t.Errorf("naive external shuffle non-uniform: %s", res)
+	}
+}
+
+func BenchmarkExternalShuffle(b *testing.B) {
+	src := xrand.NewXoshiro256(1)
+	const n = 1 << 20
+	v := iotaVec(n, 512)
+	b.SetBytes(8 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Shuffle(src, v, ShuffleOptions{Memory: 1 << 15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package extmem
+
+import (
+	"fmt"
+
+	"randperm/internal/commat"
+	"randperm/internal/xrand"
+)
+
+// ShuffleOptions configures the external distribution shuffle.
+type ShuffleOptions struct {
+	// Memory is the internal memory capacity M in items. The shuffle
+	// never holds more than M items of payload in memory at once
+	// (chunk buffer plus one write buffer per bucket). It must be at
+	// least 4 blocks.
+	Memory int64
+}
+
+// Shuffle permutes the disk vector uniformly at random using the paper's
+// matrix decomposition, with all disk traffic in sequential streams:
+//
+//  1. the vector is viewed as C memory-sized chunks (source blocks) and
+//     K buckets (target blocks) where K is chosen so that one write
+//     buffer per bucket plus one chunk fit in memory;
+//  2. a C x K communication matrix is sampled exactly (Algorithm 3);
+//  3. each chunk is loaded, shuffled in memory, and appended to the K
+//     bucket streams according to its matrix row;
+//  4. buckets small enough for memory are shuffled in place; larger
+//     buckets recurse.
+//
+// The I/O cost is Theta((n/B)(1 + log_K(n/M))) block transfers versus
+// Theta(n) for external Fisher-Yates; both are measured by the vector's
+// counters (experiment E9).
+func Shuffle(src xrand.Source, v *Vector, opt ShuffleOptions) error {
+	m := opt.Memory
+	if m <= 0 {
+		m = 1 << 20
+	}
+	b := int64(v.BlockSize())
+	if m < 4*b {
+		return fmt.Errorf("extmem: memory %d must be at least 4 blocks (%d items)", m, 4*b)
+	}
+	scratch := NewVector(v.Len(), v.BlockSize())
+	shuffleRange(src, v, scratch, 0, v.Len(), m)
+	// The counters on scratch are part of the algorithm's cost.
+	v.reads += scratch.reads
+	v.writes += scratch.writes
+	return nil
+}
+
+// shuffleRange shuffles items [lo, hi) of v, using the same range of
+// scratch as bucket storage. Ranges are always block-aligned at lo
+// because bucket boundaries are chosen block-aligned.
+func shuffleRange(src xrand.Source, v, scratch *Vector, lo, hi, mem int64) {
+	n := hi - lo
+	if n <= 1 {
+		return
+	}
+	b := int64(v.BlockSize())
+	if n <= mem {
+		// Base case: load, shuffle in memory, write back.
+		buf := make([]int64, n)
+		readRange(v, lo, hi, buf)
+		xrand.Shuffle(src, buf)
+		writeRange(v, lo, hi, buf)
+		return
+	}
+
+	// Fanout: reserve half of memory for the chunk, half for the K
+	// bucket write buffers of one block each.
+	k := mem / (2 * b)
+	if k < 2 {
+		k = 2
+	}
+	chunkCap := mem / 2
+	if chunkCap < b {
+		chunkCap = b
+	}
+
+	// Block-aligned bucket layout over [lo, hi).
+	nBlocks := (n + b - 1) / b
+	bucketSizes := make([]int64, k)
+	{
+		base := nBlocks / k
+		rem := nBlocks % k
+		for i := range bucketSizes {
+			blocks := base
+			if int64(i) < rem {
+				blocks++
+			}
+			bucketSizes[i] = blocks * b
+		}
+		// The final bucket absorbs the partial last block.
+		var acc int64
+		for i := range bucketSizes {
+			if acc+bucketSizes[i] > n {
+				bucketSizes[i] = n - acc
+			}
+			acc += bucketSizes[i]
+		}
+	}
+
+	// Chunk layout (block-aligned, sizes <= chunkCap).
+	var chunkSizes []int64
+	for rem := n; rem > 0; {
+		c := chunkCap
+		if c > rem {
+			c = rem
+		}
+		chunkSizes = append(chunkSizes, c)
+		rem -= c
+	}
+
+	// Exact communication matrix, streamed row by row: the row for a
+	// chunk is only needed while that chunk is resident, so O(K) state
+	// suffices even when there are many chunks.
+	rows := commat.NewRowSampler(src, chunkSizes, bucketSizes)
+	row := make([]int64, k)
+
+	// Distribution pass: stream chunks in, scatter to bucket streams.
+	bucketStart := make([]int64, k+1)
+	for i := int64(0); i < k; i++ {
+		bucketStart[i+1] = bucketStart[i] + bucketSizes[i]
+	}
+	cursor := make([]int64, k)
+	copy(cursor, bucketStart[:k])
+
+	chunkBuf := make([]int64, chunkCap)
+	pos := int64(0)
+	for _, cs := range chunkSizes {
+		buf := chunkBuf[:cs]
+		readRange(v, lo+pos, lo+pos+cs, buf)
+		xrand.Shuffle(src, buf)
+		if !rows.Next(row) {
+			panic("extmem: matrix rows exhausted early")
+		}
+		var off int64
+		for j := int64(0); j < k; j++ {
+			cnt := row[j]
+			if cnt > 0 {
+				writeRange(scratch, lo+cursor[j], lo+cursor[j]+cnt, buf[off:off+cnt])
+				cursor[j] += cnt
+				off += cnt
+			}
+		}
+		pos += cs
+	}
+
+	// Recurse on buckets (data now lives in scratch; roles swap).
+	for j := int64(0); j < k; j++ {
+		shuffleRange(src, scratch, v, lo+bucketStart[j], lo+bucketStart[j+1], mem)
+	}
+	// Copy the shuffled buckets back into v (streaming pass).
+	copyRange(scratch, v, lo, hi)
+}
+
+// readRange reads items [lo, hi) into buf via block I/Os.
+func readRange(v *Vector, lo, hi int64, buf []int64) {
+	b := int64(v.BlockSize())
+	tmp := make([]int64, b)
+	for pos := lo; pos < hi; {
+		blk := pos / b
+		got := v.ReadBlock(blk, tmp)
+		start := pos - blk*b
+		end := int64(got)
+		if blk*b+end > hi {
+			end = hi - blk*b
+		}
+		copy(buf[pos-lo:], tmp[start:end])
+		pos = blk*b + end
+	}
+}
+
+// writeRange writes buf to items [lo, hi) via block I/Os, using
+// read-modify-write only at the unaligned edges.
+func writeRange(v *Vector, lo, hi int64, buf []int64) {
+	b := int64(v.BlockSize())
+	tmp := make([]int64, b)
+	for pos := lo; pos < hi; {
+		blk := pos / b
+		blkLo, blkHi := blk*b, blk*b+b
+		if blkHi > v.Len() {
+			blkHi = v.Len()
+		}
+		if pos == blkLo && hi >= blkHi {
+			// Full block overwrite.
+			v.WriteBlock(blk, buf[pos-lo:pos-lo+(blkHi-blkLo)])
+			pos = blkHi
+			continue
+		}
+		// Partial: read-modify-write.
+		got := v.ReadBlock(blk, tmp)
+		end := blkLo + int64(got)
+		if end > hi {
+			end = hi
+		}
+		copy(tmp[pos-blkLo:end-blkLo], buf[pos-lo:end-lo])
+		v.WriteBlock(blk, tmp[:got])
+		pos = end
+	}
+}
+
+// copyRange streams items [lo, hi) from src to dst.
+func copyRange(from, to *Vector, lo, hi int64) {
+	b := int64(from.BlockSize())
+	tmp := make([]int64, b)
+	for pos := lo; pos < hi; {
+		blk := pos / b
+		got := from.ReadBlock(blk, tmp)
+		start := pos - blk*b
+		end := int64(got)
+		if blk*b+end > hi {
+			end = hi - blk*b
+		}
+		writeRange(to, pos, blk*b+end, tmp[start:end])
+		pos = blk*b + end
+	}
+}
+
+// NaiveShuffle runs Fisher-Yates directly against the disk vector: every
+// swap reads and writes the two blocks holding the endpoints (a tiny
+// one-block cache exploits the sequential left index). This is the
+// Theta(n) random-I/O baseline the matrix shuffle is measured against.
+func NaiveShuffle(src xrand.Source, v *Vector) {
+	n := v.Len()
+	b := int64(v.BlockSize())
+	iBuf := make([]int64, b)
+	jBuf := make([]int64, b)
+	iBlk := int64(-1)
+	for i := n - 1; i > 0; i-- {
+		j := xrand.Int64n(src, i+1)
+		bi, bj := i/b, j/b
+		if bi != iBlk {
+			if iBlk >= 0 {
+				v.WriteBlock(iBlk, iBuf[:blockLen(v, iBlk)])
+			}
+			v.ReadBlock(bi, iBuf)
+			iBlk = bi
+		}
+		if bj == bi {
+			iBuf[i-bi*b], iBuf[j-bi*b] = iBuf[j-bi*b], iBuf[i-bi*b]
+			continue
+		}
+		v.ReadBlock(bj, jBuf)
+		iBuf[i-bi*b], jBuf[j-bj*b] = jBuf[j-bj*b], iBuf[i-bi*b]
+		v.WriteBlock(bj, jBuf[:blockLen(v, bj)])
+	}
+	if iBlk >= 0 {
+		v.WriteBlock(iBlk, iBuf[:blockLen(v, iBlk)])
+	}
+}
+
+func blockLen(v *Vector, blk int64) int64 {
+	lo, hi := v.blockRange(blk)
+	return hi - lo
+}

@@ -1,0 +1,66 @@
+package harness
+
+import "time"
+
+// Config scales the experiments. The zero value plus WithDefaults is a
+// laptop-friendly configuration; Quick shrinks everything for CI; the
+// paper's original 480M-item runs are reachable with N = 480e6 on a
+// machine with enough memory.
+type Config struct {
+	// N is the item count for the timing experiments (E1, E3, E8).
+	N int64
+	// Trials is the sample count for the statistical experiments
+	// (E5, E7).
+	Trials int
+	// Seed drives all randomness.
+	Seed uint64
+	// Ps lists the machine sizes of the scaling experiment E3.
+	Ps []int
+	// CPUGHz converts ns/item into estimated cycles/item for the
+	// comparison with the paper's 60-100 cycles (E1).
+	CPUGHz float64
+	// Quick shrinks all workloads by roughly an order of magnitude.
+	Quick bool
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.N == 0 {
+		c.N = 8 << 20 // 8Mi items
+		if c.Quick {
+			c.N = 1 << 20
+		}
+	}
+	if c.Trials == 0 {
+		c.Trials = 72000
+		if c.Quick {
+			c.Trials = 21600
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5EED_0F_9A9E4 // arbitrary fixed default
+	}
+	if len(c.Ps) == 0 {
+		// The processor counts of the paper's Origin 2000 runs.
+		c.Ps = []int{1, 3, 6, 12, 24, 48}
+	}
+	if c.CPUGHz == 0 {
+		c.CPUGHz = 3.0
+	}
+	return c
+}
+
+// timeIt runs f once and returns the wall-clock duration.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// nsPerItem converts a duration over n items into nanoseconds per item.
+func nsPerItem(d time.Duration, n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(d.Nanoseconds()) / float64(n)
+}

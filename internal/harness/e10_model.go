@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+
+	"randperm/internal/core"
+)
+
+// machineProfile is a (g, L) point of the BSP cost formula, in units of
+// one local operation.
+type machineProfile struct {
+	name string
+	g    float64 // time per byte of h-relation
+	l    float64 // per-superstep latency
+}
+
+// E10 evaluates the PRO "optimal grain" claim (Theorem 1) in the noise-
+// free cost model: every processor's counted operations and h-relations
+// are folded through T = sum_s (w_s + g*h_s + L) for three machine
+// profiles, and the model speedup T_seq / T_p is tabulated. Unlike the
+// wall-clock experiment E3, this is exact and deterministic: it shows
+// where the break-even p sits as the network gets slower, which is the
+// granularity trade-off the PRO model formalizes.
+func E10(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	n := cfg.N / 8
+	if n < 1<<16 {
+		n = 1 << 16
+	}
+	profiles := []machineProfile{
+		{"shared-mem (g=0.05, L=1e3)", 0.05, 1e3},
+		{"cluster    (g=0.5,  L=1e5)", 0.5, 1e5},
+		{"wan        (g=5,    L=1e7)", 5, 1e7},
+	}
+	t := &Table{
+		ID:    "E10",
+		Title: fmt.Sprintf("BSP model cost of Algorithm 1, n=%d (speedup T_1/T_p per machine profile)", n),
+		Columns: []string{
+			"p", profiles[0].name, profiles[1].name, profiles[2].name,
+		},
+	}
+
+	// Sequential reference cost: one op per item (Fisher-Yates).
+	seqCost := float64(n)
+
+	for _, p := range []int{2, 4, 8, 16, 32, 64} {
+		sizes := core.EvenBlocks(n, p)
+		blocks, err := core.Split(core.Iota(n), sizes)
+		if err != nil {
+			return nil, err
+		}
+		_, m, err := core.Permute(blocks, sizes, core.Config{
+			Seed:   cfg.Seed + uint64(p),
+			Matrix: core.MatrixOpt,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep := m.Report()
+		row := make([]any, 0, 4)
+		row = append(row, p)
+		for _, prof := range profiles {
+			speedup := seqCost / rep.ModelTime(prof.g, prof.l)
+			row = append(row, speedup)
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("model speedup = n / sum_s(max ops + g*h + L); >1 means the parallel algorithm beats sequential in that machine's cost model")
+	t.AddNote("the break-even p grows as g and L grow: the coarseness requirement p << n of the PRO model made quantitative")
+	return t, nil
+}

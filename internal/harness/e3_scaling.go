@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"randperm/internal/core"
+	"randperm/internal/seqperm"
+	"randperm/internal/xrand"
+)
+
+// paperE3 holds the running times the paper reports in Section 6 for 480
+// million items on a 400 MHz Origin 2000, keyed by processor count
+// (p = 1 is the plain sequential algorithm).
+var paperE3 = map[int]float64{
+	1: 137, 3: 210, 6: 107, 12: 72.9, 24: 60.9, 48: 53.2,
+}
+
+// E3 reproduces the paper's headline experiment (Section 6): wall-clock
+// times of the parallel random permutation across machine sizes, against
+// the sequential Fisher-Yates baseline. The shapes to verify:
+//
+//   - the parallel algorithm at small p costs a factor 3-5 more total
+//     work than sequential (two local shuffles plus the exchange), so
+//     p=3 is *slower* than sequential, exactly as in the paper;
+//   - wall time then decreases monotonically with p;
+//   - by p ~ 2x the break-even the parallel run beats sequential.
+func E3(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := &Table{
+		ID:    "E3",
+		Title: fmt.Sprintf("Algorithm 1 scaling, n=%d int64 items (paper: 480M items on Origin 2000)", cfg.N),
+		Columns: []string{
+			"p", "time", "speedup", "overhead p*T_p/T_1",
+			"paper s", "paper overhead",
+		},
+	}
+
+	data := make([]int64, cfg.N)
+	for i := range data {
+		data[i] = int64(i)
+	}
+
+	// Sequential baseline, median of 3.
+	src := xrand.NewXoshiro256(cfg.Seed)
+	seqD := medianOf3(func() time.Duration {
+		return timeIt(func() { seqperm.FisherYates(src, data) })
+	})
+	t.AddRow(1, fmtDur(seqD), 1.0, 1.0, paperNum(1), 1.0)
+
+	for _, p := range cfg.Ps {
+		if p <= 1 {
+			continue
+		}
+		pd := medianOf3(func() time.Duration {
+			return timeIt(func() {
+				out, _, err := core.PermuteSlice(data, p, core.Config{
+					Seed:   cfg.Seed + uint64(p),
+					Matrix: core.MatrixOpt,
+				})
+				if err != nil {
+					panic(err)
+				}
+				_ = out
+			})
+		})
+		speedup := float64(seqD) / float64(pd)
+		overhead := float64(p) * float64(pd) / float64(seqD)
+		paperT := paperNum(p)
+		paperOv := ""
+		if v, ok := paperE3[p]; ok {
+			paperOv = fmt.Sprintf("%.2f", float64(p)*v/paperE3[1])
+		}
+		t.AddRow(p, fmtDur(pd), speedup, overhead, paperT, paperOv)
+	}
+	t.AddNote("paper: overhead factor 3-5 expected (two local permutations + communication)")
+	t.AddNote("simulated processors are goroutines on one node; absolute times differ from the Origin, shapes must match")
+	return t, nil
+}
+
+func paperNum(p int) string {
+	if v, ok := paperE3[p]; ok {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return "-"
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+func medianOf3(f func() time.Duration) time.Duration {
+	a, b, c := f(), f(), f()
+	// Median of three by explicit comparison.
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"math"
+	"time"
+
+	"randperm/internal/commat"
+	"randperm/internal/core"
+	"randperm/internal/xrand"
+)
+
+// E4 verifies Theorem 2 and Propositions 7-9: the communication matrix
+// can be sampled sequentially in O(p^2), in parallel with Theta(p log p)
+// per-processor resources (Algorithm 5), and cost-optimally with Theta(p)
+// per-processor resources (Algorithm 6). For each machine size the table
+// reports wall time plus the *counted* per-processor operations and raw
+// random draws, normalized by the predicted growth term so the shape is
+// visible as an approximately constant column.
+func E4(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := &Table{
+		ID:    "E4",
+		Title: "communication matrix sampling cost (Thm 2: seq p^2; Alg5 p log p /proc; Alg6 p /proc)",
+		Columns: []string{
+			"p", "alg", "time", "max ops/proc", "norm",
+			"max draws/proc", "max bytes/proc",
+		},
+	}
+	ps := []int{4, 8, 16, 32, 64, 128}
+	if cfg.Quick {
+		ps = []int{4, 8, 16, 32}
+	}
+	const blockM = 1 << 14 // items per block: large enough that samples are non-trivial
+
+	for _, p := range ps {
+		margins := core.EvenBlocks(int64(p)*blockM, p)
+
+		// Sequential Algorithm 3 on one processor.
+		src := xrand.NewXoshiro256(cfg.Seed)
+		var seqD time.Duration
+		seqD = medianOf3(func() time.Duration {
+			return timeIt(func() { commat.SampleSeq(src, margins, margins) })
+		})
+		t.AddRow(p, "seq(A3)", fmtDur(seqD),
+			int64(p)*int64(p), normCell(float64(p)*float64(p), float64(p)*float64(p)),
+			"-", "-")
+
+		for _, alg := range []core.MatrixAlg{core.MatrixLog, core.MatrixOpt} {
+			var rep coreReport
+			d := medianOf3(func() time.Duration {
+				return timeIt(func() {
+					_, m, err := core.SampleRows(p, cfg.Seed+uint64(p), margins, margins, alg)
+					if err != nil {
+						panic(err)
+					}
+					r := m.Report()
+					rep = coreReport{
+						maxOps:   r.MaxOps(),
+						maxDraws: r.MaxDraws(),
+						maxBytes: r.MaxBytes(),
+					}
+				})
+			})
+			var norm float64
+			switch alg {
+			case core.MatrixLog:
+				norm = float64(rep.maxOps) / (float64(p) * math.Log2(float64(p)))
+			case core.MatrixOpt:
+				norm = float64(rep.maxOps) / float64(p)
+			}
+			t.AddRow(p, "par("+alg.String()+")", fmtDur(d),
+				rep.maxOps, norm, rep.maxDraws, rep.maxBytes)
+		}
+	}
+	t.AddNote("norm = max ops/proc divided by the predicted growth (p^2 for seq, p log2 p for Alg5, p for Alg6); flat columns confirm the Theta bounds")
+	t.AddNote("crossover (Sec. 6): matrix sampling dominates the n/p-item exchange only while n <~ p^2 log p")
+	return t, nil
+}
+
+type coreReport struct {
+	maxOps   int64
+	maxDraws int64
+	maxBytes int64
+}
+
+func normCell(v, by float64) float64 {
+	if by == 0 {
+		return 0
+	}
+	return v / by
+}

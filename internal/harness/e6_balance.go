@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+
+	"randperm/internal/baseline"
+	"randperm/internal/core"
+)
+
+// E6 measures the balance criterion (Section 1): during and after the
+// permutation, no processor may be overloaded. Algorithm 1 is balanced by
+// construction (output block sizes are the prescribed m', and per-
+// processor work is counted); RandRoute produces multinomial loads that
+// overshoot the target by Theta(sqrt(m)); DartThrowing restores balance
+// only through rejection rounds whose count explodes as the slack
+// epsilon shrinks - the work-optimality versus balance trade-off the
+// paper resolves.
+func E6(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	p := 16
+	n := cfg.N / 64
+	if n < int64(p*p) {
+		n = int64(p * p * 16)
+	}
+	m := n / int64(p)
+	t := &Table{
+		ID:    "E6",
+		Title: fmt.Sprintf("balance: n=%d items, p=%d, target block m=%d", n, p, m),
+		Columns: []string{
+			"method", "max load", "max/target", "rounds", "max ops/proc", "ops/(n/p)",
+		},
+	}
+
+	sizes := core.EvenBlocks(n, p)
+	mkBlocks := func() [][]int64 {
+		blocks, err := core.Split(core.Iota(n), sizes)
+		if err != nil {
+			panic(err)
+		}
+		return blocks
+	}
+
+	// Algorithm 1: output sizes are exact by construction.
+	{
+		out, mach, err := core.Permute(mkBlocks(), sizes, core.Config{Seed: cfg.Seed, Matrix: core.MatrixOpt})
+		if err != nil {
+			return nil, err
+		}
+		var maxLoad int64
+		for _, b := range out {
+			if int64(len(b)) > maxLoad {
+				maxLoad = int64(len(b))
+			}
+		}
+		rep := mach.Report()
+		t.AddRow("alg1(opt)", maxLoad, float64(maxLoad)/float64(m), 1,
+			rep.MaxOps(), float64(rep.MaxOps())/float64(m))
+	}
+
+	// RandRoute: multinomial loads.
+	{
+		res, mach, err := baseline.RandRoute(mkBlocks(), cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		rep := mach.Report()
+		t.AddRow("rand-route", res.MaxLoad, float64(res.MaxLoad)/float64(m), 1,
+			rep.MaxOps(), float64(rep.MaxOps())/float64(m))
+	}
+
+	// Dart throwing across slack values.
+	for _, eps := range []float64{0.2, 0.1, 0.05, 0.02, 0.01} {
+		res, mach, err := baseline.DartThrowing(mkBlocks(), cfg.Seed+2, eps, 200)
+		if err != nil {
+			return nil, err
+		}
+		rep := mach.Report()
+		t.AddRow(fmt.Sprintf("dart eps=%.2f", eps), res.MaxLoad,
+			float64(res.MaxLoad)/float64(m), res.Rounds,
+			rep.MaxOps(), float64(rep.MaxOps())/float64(m))
+	}
+
+	// Goodrich sort-shuffle: balanced, but the ops column shows the
+	// log-factor work.
+	{
+		out, mach, err := baseline.SortShuffle(mkBlocks(), cfg.Seed+3)
+		if err != nil {
+			return nil, err
+		}
+		var maxLoad int64
+		for _, b := range out {
+			if int64(len(b)) > maxLoad {
+				maxLoad = int64(len(b))
+			}
+		}
+		rep := mach.Report()
+		t.AddRow("sort-shuffle", maxLoad, float64(maxLoad)/float64(m), 1,
+			rep.MaxOps(), float64(rep.MaxOps())/float64(m))
+	}
+
+	t.AddNote("alg1 keeps max/target = 1 exactly and ops/(n/p) constant; rand-route overshoots by ~sqrt(m); dart rounds grow as eps shrinks; sort-shuffle is balanced but pays ~log2(n) in ops/(n/p)")
+	return t, nil
+}

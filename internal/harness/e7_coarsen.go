@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+
+	"randperm/internal/commat"
+	"randperm/internal/core"
+	"randperm/internal/hyper"
+	"randperm/internal/stats"
+	"randperm/internal/xrand"
+)
+
+// E7 verifies the self-similarity of the matrix distribution
+// (Propositions 4 and 5): merging blocks of a sampled communication
+// matrix must again follow the communication-matrix law of the merged
+// problem, and in particular every merged entry follows a hypergeometric
+// distribution h(t, w, b) with the merged margins. The table chi-squares
+// the merged corner entry of matrices from all three samplers against
+// the closed-form PMF.
+func E7(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	trials := cfg.Trials / 4
+	if trials < 4000 {
+		trials = 4000
+	}
+	p := 12
+	blockM := int64(40)
+	rowM := core.EvenBlocks(int64(p)*blockM, p)
+	colM := core.EvenBlocks(int64(p)*blockM, p)
+	rowCut, colCut := 5, 7 // deliberately asymmetric grouping
+
+	t := &Table{
+		ID: "E7",
+		Title: fmt.Sprintf("Prop. 4/5 self-similarity: %dx%d matrix coarsened to 2x2 at cuts (%d,%d), %d trials",
+			p, p, rowCut, colCut, trials),
+		Columns: []string{"sampler", "chi2", "df", "p-value", "verdict"},
+	}
+
+	// By Proposition 5 the merged (0,0) entry follows h(t, w, b) with
+	// t the merged column-group mass, w the merged row-group mass and
+	// b the remaining items.
+	w0 := commat.SumVec(rowM[:rowCut]) // merged row-group mass
+	c0 := commat.SumVec(colM[:colCut]) // merged col-group mass
+	n := commat.SumVec(rowM)
+	d := hyper.Dist{T: c0, W: w0, B: n - w0}
+	lo, hi := d.SupportMin(), d.SupportMax()
+	probs := make([]float64, hi-lo+1)
+	for k := lo; k <= hi; k++ {
+		probs[k-lo] = d.PMF(k)
+	}
+
+	run := func(name string, sample func(tr int) *commat.Matrix) error {
+		counts := make([]int64, hi-lo+1)
+		for tr := 0; tr < trials; tr++ {
+			m := sample(tr)
+			cm := commat.Coarsen(m, []int{rowCut}, []int{colCut})
+			counts[cm.At(0, 0)-lo]++
+		}
+		res, err := stats.ChiSquareBinned(counts, probs, 5)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		verdict := "match"
+		if res.Reject(0.001) {
+			verdict = "MISMATCH"
+		}
+		t.AddRow(name, res.Stat, res.DF, res.P, verdict)
+		return nil
+	}
+
+	src := xrand.NewXoshiro256(cfg.Seed)
+	if err := run("seq(A3)", func(int) *commat.Matrix {
+		return commat.SampleSeq(src, rowM, colM)
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("rec(A4)", func(int) *commat.Matrix {
+		return commat.SampleRec(src, rowM, colM)
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("par(log,A5)", func(tr int) *commat.Matrix {
+		m, _, err := core.SampleRows(p, cfg.Seed+uint64(tr)*31+7, rowM, colM, core.MatrixLog)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("par(opt,A6)", func(tr int) *commat.Matrix {
+		m, _, err := core.SampleRows(p, cfg.Seed+uint64(tr)*37+11, rowM, colM, core.MatrixOpt)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}); err != nil {
+		return nil, err
+	}
+	t.AddNote("every row must read match: the coarsened entry is h(t=%d, w=%d, b=%d)", c0, w0, n-w0)
+	return t, nil
+}

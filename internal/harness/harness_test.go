@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:      "T1",
+		Title:   "demo",
+		Columns: []string{"a", "bbbb"},
+	}
+	tb.AddRow(1, "x")
+	tb.AddRow(22.5, "yy")
+	tb.AddNote("hello %d", 7)
+	out := tb.Render()
+	for _, want := range []string{"== T1: demo ==", "a", "bbbb", "22.50", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"x", "y"}}
+	tb.AddRow(1, 2)
+	got := tb.CSV()
+	if got != "x,y\n1,2\n" {
+		t.Fatalf("CSV = %q", got)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		1234567: "1234567",
+		123.456: "123.5",
+		2.345:   "2.35",
+		0.12345: "0.1235",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Fatalf("trimFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.N == 0 || c.Trials == 0 || c.Seed == 0 || len(c.Ps) == 0 || c.CPUGHz == 0 {
+		t.Fatalf("defaults missing: %+v", c)
+	}
+	q := Config{Quick: true}.WithDefaults()
+	if q.N >= c.N {
+		t.Fatal("quick config not smaller")
+	}
+	keep := Config{N: 42, Trials: 7, Seed: 3}.WithDefaults()
+	if keep.N != 42 || keep.Trials != 7 || keep.Seed != 3 {
+		t.Fatal("explicit values overridden")
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	for _, e := range Experiments {
+		got, err := Find(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Fatalf("Find(%s) failed: %v", e.ID, err)
+		}
+	}
+	if _, err := Find("E99"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestExperimentsHaveDistinctIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestMedianOf3(t *testing.T) {
+	i := 0
+	vals := []time.Duration{30, 10, 20}
+	got := medianOf3(func() time.Duration {
+		v := vals[i]
+		i++
+		return v
+	})
+	if got != 20 {
+		t.Fatalf("median = %d, want 20", got)
+	}
+}
+
+func TestNsPerItem(t *testing.T) {
+	if nsPerItem(time.Microsecond, 1000) != 1 {
+		t.Fatal("nsPerItem wrong")
+	}
+	if nsPerItem(time.Second, 0) != 0 {
+		t.Fatal("zero items should be 0")
+	}
+}
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig() Config {
+	return Config{
+		N:      1 << 16,
+		Trials: 2000,
+		Seed:   123,
+		Ps:     []int{1, 2, 4},
+		Quick:  true,
+	}.WithDefaults()
+}
+
+func TestE1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	tb, err := E1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("E1 produced no rows")
+	}
+}
+
+func TestE2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	tb, err := E2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 5 {
+		t.Fatal("E2 produced too few rows")
+	}
+}
+
+func TestE4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	tb, err := E4(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("E4 produced no rows")
+	}
+}
+
+func TestE6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	tb, err := E6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Algorithm 1's row must show exact balance.
+	found := false
+	for _, row := range tb.Rows {
+		if row[0] == "alg1(opt)" && row[2] == "1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("alg1 balance row missing or wrong: %v", tb.Rows)
+	}
+}
+
+func TestE7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	tb, err := E7(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "match" {
+			t.Fatalf("E7 sampler mismatch: %v", row)
+		}
+	}
+}
+
+func TestE3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	tb, err := E3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 3 {
+		t.Fatalf("E3 produced %d rows", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "1" {
+		t.Fatalf("first row must be sequential: %v", tb.Rows[0])
+	}
+}
+
+func TestE8Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	tb, err := E8(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("E8 produced no rows")
+	}
+}
+
+func TestE9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	tb, err := E9(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("E9 produced no rows")
+	}
+	// The matrix shuffle must beat the naive baseline in every row.
+	for _, row := range tb.Rows {
+		if row[len(row)-1] == "" {
+			t.Fatalf("missing ratio in %v", row)
+		}
+	}
+}
+
+func TestE10Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	tb, err := E10(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 4 {
+		t.Fatal("E10 produced too few rows")
+	}
+}
+
+func TestHashNameStable(t *testing.T) {
+	if hashName("abc") != hashName("abc") {
+		t.Fatal("hashName not deterministic")
+	}
+	if hashName("abc") == hashName("abd") {
+		t.Fatal("hashName collision on near inputs")
+	}
+}

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment binds an experiment ID to its runner and the paper claim it
+// reproduces.
+type Experiment struct {
+	ID    string
+	Claim string
+	Run   func(Config) (*Table, error)
+}
+
+// Experiments is the full catalogue, in presentation order.
+var Experiments = []Experiment{
+	{"E1", "sequential permutation costs 60-100 cycles/item, memory bound (Sec. 1)", E1},
+	{"E2", "hypergeometric sampling: <1.5 random numbers avg, <=10 worst (Sec. 3/6)", E2},
+	{"E3", "480M-item scaling on p=3..48; overhead factor 3-5 (Sec. 6)", E3},
+	{"E4", "matrix sampling: seq p^2, Alg5 p log p /proc, Alg6 p /proc (Thm 2)", E4},
+	{"E5", "all n! permutations equally likely; iterate/reject methods are not (Thm 1, Sec. 1)", E5},
+	{"E6", "balance: Alg1 exact, rand-route sqrt(m) overshoot, dart rounds blow up (Sec. 1)", E6},
+	{"E7", "self-similarity of the matrix distribution under coarsening (Prop. 4/5)", E7},
+	{"E8", "the matrix idea as a cache-friendly sequential shuffle (Sec. 6 outlook)", E8},
+	{"E9", "the matrix idea as an external-memory shuffle: streaming I/Os vs random (Sec. 6 outlook)", E9},
+	{"E10", "PRO optimal grain: BSP model speedups across machine profiles (Thm. 1)", E10},
+}
+
+// Find returns the experiment with the given ID (case sensitive).
+func Find(id string) (Experiment, error) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(Experiments))
+	for _, e := range Experiments {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
+}

@@ -1,0 +1,74 @@
+package hyper
+
+import (
+	"testing"
+
+	"randperm/internal/xrand"
+)
+
+// FuzzSample drives the auto-dispatching sampler with arbitrary
+// parameters: any valid urn must yield a value inside the support, and
+// invalid parameters must panic (never mis-sample).
+func FuzzSample(f *testing.F) {
+	f.Add(int64(10), int64(5), int64(5), uint64(1))
+	f.Add(int64(0), int64(0), int64(0), uint64(2))
+	f.Add(int64(1000000), int64(999999), int64(1), uint64(3))
+	f.Add(int64(7), int64(1000000), int64(3), uint64(4))
+	f.Add(int64(123456), int64(654321), int64(111111), uint64(5))
+	f.Fuzz(func(t *testing.T, tt, w, b int64, seed uint64) {
+		// Clamp into a sane magnitude to keep the fuzzer productive.
+		const lim = int64(1) << 40
+		if w < 0 {
+			w = -w
+		}
+		if b < 0 {
+			b = -b
+		}
+		if tt < 0 {
+			tt = -tt
+		}
+		w %= lim
+		b %= lim
+		if w+b == 0 {
+			return
+		}
+		tt %= w + b + 1
+		src := xrand.NewXoshiro256(seed)
+		d := Dist{T: tt, W: w, B: b}
+		k := Sample(src, tt, w, b)
+		if k < d.SupportMin() || k > d.SupportMax() {
+			t.Fatalf("Sample(%d,%d,%d) = %d outside [%d,%d]",
+				tt, w, b, k, d.SupportMin(), d.SupportMax())
+		}
+	})
+}
+
+// FuzzChopMatchesSupport drives the 1-draw sampler alone, which has its
+// own numerical edge cases in the tail walk.
+func FuzzChopMatchesSupport(f *testing.F) {
+	f.Add(int64(30), int64(40), int64(50), uint64(1))
+	f.Add(int64(1), int64(1), int64(1), uint64(9))
+	f.Fuzz(func(t *testing.T, tt, w, b int64, seed uint64) {
+		const lim = int64(1) << 30
+		if w < 0 {
+			w = -w
+		}
+		if b < 0 {
+			b = -b
+		}
+		if tt < 0 {
+			tt = -tt
+		}
+		w, b = w%lim, b%lim
+		if w+b == 0 {
+			return
+		}
+		tt %= w + b + 1
+		src := xrand.NewXoshiro256(seed)
+		d := Dist{T: tt, W: w, B: b}
+		k := SampleChop(src, tt, w, b)
+		if k < d.SupportMin() || k > d.SupportMax() {
+			t.Fatalf("SampleChop(%d,%d,%d) = %d outside support", tt, w, b, k)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package hyper
+
+import (
+	"math"
+
+	"randperm/internal/xrand"
+)
+
+// Constants of the ratio-of-uniforms method (Stadlober 1990):
+// hruaD1 = 2*sqrt(2/e), hruaD2 = 3 - 2*sqrt(3/e).
+const (
+	hruaD1 = 1.7155277699214135
+	hruaD2 = 0.8989161620588988
+)
+
+// hruaMaxRounds caps the rejection loop. Rejection sampling emits its
+// result only on acceptance, so conditioned on "k rounds rejected" the
+// eventual output still has exactly the target law; the continuation may
+// therefore be replaced by any other exact sampler. After hruaMaxRounds
+// rejections we fall back to the one-draw chop-down sampler, bounding the
+// worst case at 2*hruaMaxRounds + 1 = 9 raw draws - within the paper's
+// reported worst case of 10 - at a negligible (<1%) frequency of paying
+// the chop-down's O(sd) arithmetic.
+const hruaMaxRounds = 4
+
+// SampleHRUA draws from h(t, w, b) using the HRUA ratio-of-uniforms
+// rejection algorithm (Stadlober's H2PE family, as implemented in numpy).
+// Each rejection round consumes exactly two uniforms and is accepted with
+// high probability for any parameter values, so the expected cost is O(1)
+// in both time and raw random draws, independent of t, w and b.
+//
+// The algorithm internally reduces to the canonical case
+// draws m = min(t, N-t), whites = min(w, b) and maps the result back
+// through the two urn symmetries.
+func SampleHRUA(src xrand.Source, t, w, b int64) int64 {
+	checkParams(t, w, b)
+	pop := w + b
+	if pop == 0 {
+		return 0
+	}
+
+	minWB := w
+	if b < minWB {
+		minWB = b
+	}
+	maxWB := pop - minWB
+	m := t
+	if pop-t < m {
+		m = pop - t
+	}
+
+	z, ok := hruaCore(src, m, minWB, maxWB)
+	if !ok {
+		// Exact fallback after too many rejections (see
+		// hruaMaxRounds): chop-down on the reduced parameters.
+		z = SampleChop(src, m, minWB, maxWB)
+	}
+
+	// Undo the color swap: hruaCore counted minWB-colored balls.
+	if w > b {
+		z = m - z
+	}
+	// Undo the draw complement: whites among t draws equals
+	// w minus whites among the N-t balls left in the urn.
+	if m < t {
+		z = w - z
+	}
+	return z
+}
+
+// hruaCore samples the number of "good" balls among m draws from an urn
+// with minWB good and maxWB bad balls, assuming minWB <= maxWB and
+// m <= (minWB+maxWB)/2. ok is false when hruaMaxRounds rejections
+// occurred; the caller must then fall back to another exact sampler.
+func hruaCore(src xrand.Source, m, minWB, maxWB int64) (z int64, ok bool) {
+	popsize := minWB + maxWB
+	d4 := float64(minWB) / float64(popsize)
+	d5 := 1 - d4
+	d6 := float64(m)*d4 + 0.5
+	d7 := math.Sqrt(float64(popsize-m)*float64(m)*d4*d5/float64(popsize-1) + 0.5)
+	d8 := hruaD1*d7 + hruaD2
+	d9 := (m + 1) * (minWB + 1) / (popsize + 2) // mode
+	d10 := lgam(d9+1) + lgam(minWB-d9+1) + lgam(m-d9+1) + lgam(maxWB-m+d9+1)
+	mLim := m
+	if minWB < mLim {
+		mLim = minWB
+	}
+	d11 := math.Min(float64(mLim)+1, math.Floor(d6+16*d7))
+
+	for round := 0; round < hruaMaxRounds; round++ {
+		x := xrand.Float64Open(src)
+		y := xrand.Float64(src)
+		w := d6 + d8*(y-0.5)/x
+
+		if w < 0 || w >= d11 {
+			continue // fast outer rejection
+		}
+		z := int64(math.Floor(w))
+		tt := d10 - (lgam(z+1) + lgam(minWB-z+1) + lgam(m-z+1) + lgam(maxWB-m+z+1))
+
+		// Squeeze acceptance (cheap lower bound on the log-density).
+		if x*(4-x)-3 <= tt {
+			return z, true
+		}
+		// Squeeze rejection (cheap upper bound).
+		if x*(x-tt) >= 1 {
+			continue
+		}
+		// Full acceptance test.
+		if 2*math.Log(x) <= tt {
+			return z, true
+		}
+	}
+	return 0, false
+}
+
+// lgam returns ln Gamma(x) for integer x >= 1 passed as int64.
+func lgam(x int64) float64 {
+	v, _ := math.Lgamma(float64(x))
+	return v
+}

@@ -1,0 +1,89 @@
+// Package hyper implements the hypergeometric distribution h(t, w, b): the
+// number of "white" balls obtained when drawing t balls, without
+// replacement, from an urn holding w white and b black balls.
+//
+// This distribution is the probabilistic core of the paper: Proposition 3
+// shows every entry a_ij of the communication matrix follows
+// h(m'_j, m_i, n-m_i), and Algorithms 2-6 reduce all sampling to repeated
+// draws from h. The paper cites Zechner (1994) for efficient sampling and
+// reports fewer than 1.5 raw random numbers per sample on average with a
+// worst case of 10; this package reproduces that resource profile with two
+// exact samplers:
+//
+//   - a chop-down inverse-transform sampler that always consumes exactly
+//     one uniform (used when the standard deviation is small), and
+//   - a ratio-of-uniforms rejection sampler (HRUA, after Stadlober and the
+//     numpy implementation) that consumes two uniforms per rejection round
+//     with high acceptance probability (used for large parameters).
+//
+// Both are exact: chi-square tests against the closed-form PMF gate every
+// build. A third O(t) urn-simulation sampler serves as the obviously
+// correct reference.
+package hyper
+
+// Dist describes a hypergeometric distribution: T balls are drawn without
+// replacement from an urn with W white and B black balls; the variate is
+// the number of white balls drawn.
+type Dist struct {
+	T int64 // number of draws, 0 <= T <= W+B
+	W int64 // white balls in the urn
+	B int64 // black balls in the urn
+}
+
+// Valid reports whether the parameters describe a real urn experiment.
+func (d Dist) Valid() bool {
+	return d.T >= 0 && d.W >= 0 && d.B >= 0 && d.T <= d.W+d.B
+}
+
+// SupportMin returns the smallest value the variate can take:
+// max(0, T-B).
+func (d Dist) SupportMin() int64 {
+	if m := d.T - d.B; m > 0 {
+		return m
+	}
+	return 0
+}
+
+// SupportMax returns the largest value the variate can take: min(T, W).
+func (d Dist) SupportMax() int64 {
+	if d.T < d.W {
+		return d.T
+	}
+	return d.W
+}
+
+// Mean returns the expectation T*W/(W+B). It returns 0 for the empty urn.
+func (d Dist) Mean() float64 {
+	pop := d.W + d.B
+	if pop == 0 {
+		return 0
+	}
+	return float64(d.T) * float64(d.W) / float64(pop)
+}
+
+// Variance returns T * (W/N) * (B/N) * (N-T)/(N-1) with N = W+B, the
+// standard finite-population-corrected variance. It returns 0 when the
+// population has fewer than two balls.
+func (d Dist) Variance() float64 {
+	pop := d.W + d.B
+	if pop < 2 {
+		return 0
+	}
+	n := float64(pop)
+	return float64(d.T) * (float64(d.W) / n) * (float64(d.B) / n) *
+		(n - float64(d.T)) / (n - 1)
+}
+
+// Mode returns the (smallest) most probable value,
+// floor((T+1)(W+1)/(N+2)) clamped to the support.
+func (d Dist) Mode() int64 {
+	pop := d.W + d.B
+	m := (d.T + 1) * (d.W + 1) / (pop + 2)
+	if lo := d.SupportMin(); m < lo {
+		return lo
+	}
+	if hi := d.SupportMax(); m > hi {
+		return hi
+	}
+	return m
+}

@@ -1,0 +1,62 @@
+package hyper
+
+import (
+	"math"
+
+	"randperm/internal/numeric"
+)
+
+// LogPMF returns ln P(X = k) for the distribution, or -inf outside the
+// support.
+func (d Dist) LogPMF(k int64) float64 {
+	return numeric.LogHyperPMF(k, d.T, d.W, d.B)
+}
+
+// PMF returns P(X = k).
+func (d Dist) PMF(k int64) float64 {
+	return math.Exp(d.LogPMF(k))
+}
+
+// CDF returns P(X <= k), summed stably from the nearer tail.
+func (d Dist) CDF(k int64) float64 {
+	lo, hi := d.SupportMin(), d.SupportMax()
+	if k < lo {
+		return 0
+	}
+	if k >= hi {
+		return 1
+	}
+	// Sum whichever side of k has fewer terms, using the ratio
+	// recurrence to avoid hi-lo+1 Lgamma calls.
+	if k-lo <= hi-k {
+		sum := 0.0
+		p := d.PMF(lo)
+		for j := lo; ; j++ {
+			sum += p
+			if j == k {
+				break
+			}
+			p *= ratioUp(j, d.T, d.W, d.B)
+		}
+		return math.Min(sum, 1)
+	}
+	sum := 0.0
+	p := d.PMF(hi)
+	for j := hi; j > k; j-- {
+		sum += p
+		p *= ratioDown(j, d.T, d.W, d.B)
+	}
+	return math.Max(0, 1-sum)
+}
+
+// ratioUp returns P(X = k+1)/P(X = k).
+func ratioUp(k, t, w, b int64) float64 {
+	return float64(w-k) * float64(t-k) /
+		(float64(k+1) * float64(b-t+k+1))
+}
+
+// ratioDown returns P(X = k-1)/P(X = k).
+func ratioDown(k, t, w, b int64) float64 {
+	return float64(k) * float64(b-t+k) /
+		(float64(w-k+1) * float64(t-k+1))
+}

@@ -1,0 +1,41 @@
+package hyper
+
+import (
+	"math"
+
+	"randperm/internal/xrand"
+)
+
+// chopSDThreshold selects between the two exact samplers: below this
+// standard deviation the chop-down sampler's O(sd) arithmetic is cheap
+// and costs only a single raw draw; above it HRUA's O(1) rounds win.
+// Experiment E2 ablates this constant.
+const chopSDThreshold = 64.0
+
+// Sample draws one exact variate from h(t, w, b): the number of white
+// balls when t balls are drawn without replacement from w white and b
+// black. It panics on invalid parameters (negative, or t > w+b).
+//
+// Degenerate cases cost zero random draws; otherwise the call is exact and
+// consumes O(1) raw draws in expectation (1 via chop-down for small
+// spreads, ~2-3 via HRUA for large ones).
+func Sample(src xrand.Source, t, w, b int64) int64 {
+	checkParams(t, w, b)
+	// Degenerate urns: the outcome is deterministic.
+	switch {
+	case t == 0 || w == 0:
+		return 0
+	case b == 0:
+		return t
+	case t == w+b:
+		return w
+	}
+	d := Dist{T: t, W: w, B: b}
+	if lo, hi := d.SupportMin(), d.SupportMax(); lo == hi {
+		return lo
+	}
+	if sd := math.Sqrt(d.Variance()); sd <= chopSDThreshold {
+		return SampleChop(src, t, w, b)
+	}
+	return SampleHRUA(src, t, w, b)
+}

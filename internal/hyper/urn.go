@@ -1,0 +1,29 @@
+package hyper
+
+import "randperm/internal/xrand"
+
+// SampleUrn draws from h(t, w, b) by literally simulating the urn
+// experiment: t sequential draws without replacement, each one bounded
+// random integer. It costs Theta(t) time and t raw random draws, so it is
+// only suitable as a correctness reference for the fast samplers and for
+// tiny parameters; Sample never dispatches to it.
+func SampleUrn(src xrand.Source, t, w, b int64) int64 {
+	checkParams(t, w, b)
+	var k int64
+	wLeft, bLeft := w, b
+	for i := int64(0); i < t; i++ {
+		if xrand.Int64n(src, wLeft+bLeft) < wLeft {
+			k++
+			wLeft--
+		} else {
+			bLeft--
+		}
+	}
+	return k
+}
+
+func checkParams(t, w, b int64) {
+	if t < 0 || w < 0 || b < 0 || t > w+b {
+		panic("hyper: invalid parameters")
+	}
+}

@@ -1,0 +1,139 @@
+// Package mhyper implements the multivariate hypergeometric distribution:
+// t balls are drawn without replacement from an urn whose balls come in p
+// colors with classes[i] balls of color i; the variate is the vector of
+// per-color counts.
+//
+// This is exactly the distribution of one row-block split of the paper's
+// communication matrix (the special case of Problem 2 where the matrix is
+// a single row, see Section 3), and Algorithm 2 of the paper is the
+// iterative sampler implemented by Sample. SampleRec is the balanced
+// recursive variant suggested by Algorithm 4's formulation, which halves
+// the color classes; it performs the same number of hypergeometric draws
+// arranged as a binary tree, which parallelizes and keeps the conditioning
+// populations balanced.
+package mhyper
+
+import (
+	"math"
+
+	"randperm/internal/hyper"
+	"randperm/internal/numeric"
+	"randperm/internal/xrand"
+)
+
+// Sum returns the total of classes. It panics if any class is negative.
+func Sum(classes []int64) int64 {
+	var n int64
+	for _, c := range classes {
+		if c < 0 {
+			panic("mhyper: negative class size")
+		}
+		n += c
+	}
+	return n
+}
+
+// Sample draws a multivariate hypergeometric vector using the paper's
+// Algorithm 2: one hypergeometric draw per class, conditioning on the
+// remaining draw budget. The result r satisfies sum(r) == t and
+// 0 <= r[i] <= classes[i]. It panics if t < 0 or t > Sum(classes).
+func Sample(src xrand.Source, t int64, classes []int64) []int64 {
+	out := make([]int64, len(classes))
+	SampleInto(src, t, classes, out)
+	return out
+}
+
+// SampleInto is Sample writing into a caller-provided slice, for the hot
+// paths of Algorithms 3, 5 and 6 that sample thousands of rows. out must
+// have len(out) == len(classes).
+func SampleInto(src xrand.Source, t int64, classes []int64, out []int64) {
+	if len(out) != len(classes) {
+		panic("mhyper: output length mismatch")
+	}
+	n := Sum(classes)
+	if t < 0 || t > n {
+		panic("mhyper: draw count outside [0, population]")
+	}
+	rem := t // balls still to draw
+	for i, c := range classes {
+		if rem == 0 {
+			out[i] = 0
+			n -= c
+			continue
+		}
+		// Draws of color i among rem draws from c whites and
+		// n-c blacks (the not-yet-considered colors).
+		k := hyper.Sample(src, rem, c, n-c)
+		out[i] = k
+		rem -= k
+		n -= c
+	}
+	if rem != 0 {
+		panic("mhyper: internal accounting error")
+	}
+}
+
+// SampleRec draws the same distribution by recursive halving of the color
+// classes: the draw budget is first split between the left and right
+// halves with a single hypergeometric draw, then each half is sampled
+// independently (Proposition 6 of the paper). Both samplers are exact;
+// they differ only in how the conditioning chain is arranged.
+func SampleRec(src xrand.Source, t int64, classes []int64) []int64 {
+	n := Sum(classes)
+	if t < 0 || t > n {
+		panic("mhyper: draw count outside [0, population]")
+	}
+	out := make([]int64, len(classes))
+	sampleRec(src, t, n, classes, out)
+	return out
+}
+
+func sampleRec(src xrand.Source, t, n int64, classes []int64, out []int64) {
+	switch len(classes) {
+	case 0:
+		return
+	case 1:
+		out[0] = t
+		return
+	}
+	q := len(classes) / 2
+	var left int64
+	for _, c := range classes[:q] {
+		left += c
+	}
+	toLeft := hyper.Sample(src, t, left, n-left)
+	sampleRec(src, toLeft, left, classes[:q], out[:q])
+	sampleRec(src, t-toLeft, n-left, classes[q:], out[q:])
+}
+
+// LogPMF returns the log-probability of the outcome vector k for t draws
+// from the given classes:
+//
+//	ln [ prod_i C(classes[i], k[i]) / C(n, t) ]
+//
+// It returns -inf for outcomes outside the support (wrong total, any
+// k[i] < 0 or > classes[i]).
+func LogPMF(t int64, classes, k []int64) float64 {
+	if len(k) != len(classes) {
+		return math.Inf(-1)
+	}
+	var total, n int64
+	logp := 0.0
+	for i, c := range classes {
+		if k[i] < 0 || k[i] > c {
+			return math.Inf(-1)
+		}
+		total += k[i]
+		n += c
+		logp += numeric.LogBinom(c, k[i])
+	}
+	if total != t {
+		return math.Inf(-1)
+	}
+	return logp - numeric.LogBinom(n, t)
+}
+
+// PMF returns the probability of outcome k.
+func PMF(t int64, classes, k []int64) float64 {
+	return math.Exp(LogPMF(t, classes, k))
+}

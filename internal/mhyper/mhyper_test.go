@@ -1,0 +1,277 @@
+package mhyper
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"randperm/internal/xrand"
+)
+
+func TestSum(t *testing.T) {
+	if Sum([]int64{1, 2, 3}) != 6 {
+		t.Fatal("Sum wrong")
+	}
+	if Sum(nil) != 0 {
+		t.Fatal("Sum(nil) should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sum with negative class did not panic")
+		}
+	}()
+	Sum([]int64{1, -1})
+}
+
+func TestSampleInvariants(t *testing.T) {
+	src := xrand.NewXoshiro256(3)
+	classes := []int64{5, 0, 12, 3, 7}
+	n := Sum(classes)
+	for tt := int64(0); tt <= n; tt++ {
+		for rep := 0; rep < 20; rep++ {
+			out := Sample(src, tt, classes)
+			var total int64
+			for i, v := range out {
+				if v < 0 || v > classes[i] {
+					t.Fatalf("t=%d: out[%d]=%d outside [0,%d]", tt, i, v, classes[i])
+				}
+				total += v
+			}
+			if total != tt {
+				t.Fatalf("t=%d: outputs sum to %d", tt, total)
+			}
+		}
+	}
+}
+
+func TestSampleRecInvariants(t *testing.T) {
+	src := xrand.NewXoshiro256(5)
+	f := func(seed uint8, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		classes := make([]int64, len(raw))
+		var n int64
+		for i, r := range raw {
+			classes[i] = int64(r % 30)
+			n += classes[i]
+		}
+		tt := int64(seed) % (n + 1)
+		out := SampleRec(src, tt, classes)
+		var total int64
+		for i, v := range out {
+			if v < 0 || v > classes[i] {
+				return false
+			}
+			total += v
+		}
+		return total == tt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	src := xrand.NewXoshiro256(7)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("t > population did not panic")
+			}
+		}()
+		Sample(src, 100, []int64{1, 2})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative t did not panic")
+			}
+		}()
+		Sample(src, -1, []int64{1, 2})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("mismatched SampleInto did not panic")
+			}
+		}()
+		SampleInto(src, 1, []int64{1, 2}, make([]int64, 3))
+	}()
+}
+
+func TestLogPMFSumsToOne(t *testing.T) {
+	classes := []int64{3, 4, 2}
+	n := Sum(classes)
+	for tt := int64(0); tt <= n; tt++ {
+		sum := 0.0
+		forEachOutcome(classes, tt, func(k []int64) {
+			sum += PMF(tt, classes, k)
+		})
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("t=%d: PMF sums to %g", tt, sum)
+		}
+	}
+}
+
+func TestLogPMFOutsideSupport(t *testing.T) {
+	classes := []int64{3, 4}
+	if !math.IsInf(LogPMF(2, classes, []int64{1, 2}), -1) {
+		t.Fatal("wrong total should be -inf")
+	}
+	if !math.IsInf(LogPMF(2, classes, []int64{-1, 3}), -1) {
+		t.Fatal("negative count should be -inf")
+	}
+	if !math.IsInf(LogPMF(5, classes, []int64{4, 1}), -1) {
+		t.Fatal("count above class size should be -inf")
+	}
+	if !math.IsInf(LogPMF(2, classes, []int64{2}), -1) {
+		t.Fatal("wrong length should be -inf")
+	}
+}
+
+// forEachOutcome enumerates all vectors k with sum t, 0 <= k_i <= classes_i.
+func forEachOutcome(classes []int64, t int64, yield func([]int64)) {
+	k := make([]int64, len(classes))
+	var rec func(i int, rem int64)
+	rec = func(i int, rem int64) {
+		if i == len(classes)-1 {
+			if rem <= classes[i] {
+				k[i] = rem
+				yield(k)
+			}
+			return
+		}
+		maxV := classes[i]
+		if rem < maxV {
+			maxV = rem
+		}
+		for v := int64(0); v <= maxV; v++ {
+			k[i] = v
+			rec(i+1, rem-v)
+		}
+	}
+	rec(0, t)
+}
+
+// chiSquareAgainstPMF verifies a sampler hits the exact multivariate law.
+func chiSquareAgainstPMF(t *testing.T, name string, classes []int64, tt int64,
+	sample func() []int64) {
+	t.Helper()
+	type key [8]int64
+	toKey := func(k []int64) key {
+		var out key
+		copy(out[:], k)
+		return out
+	}
+	probs := make(map[key]float64)
+	forEachOutcome(classes, tt, func(k []int64) {
+		probs[toKey(k)] = PMF(tt, classes, k)
+	})
+	const trials = 30000
+	counts := make(map[key]int64)
+	for i := 0; i < trials; i++ {
+		counts[toKey(sample())]++
+	}
+	stat := 0.0
+	cells := 0
+	for k, p := range probs {
+		exp := p * trials
+		if exp < 1e-9 {
+			if counts[k] > 0 {
+				t.Fatalf("%s: impossible outcome %v observed", name, k)
+			}
+			continue
+		}
+		d := float64(counts[k]) - exp
+		stat += d * d / exp
+		cells++
+	}
+	df := float64(cells - 1)
+	z := 3.09
+	limit := df * math.Pow(1-2/(9*df)+z*math.Sqrt(2/(9*df)), 3)
+	if stat > limit {
+		t.Errorf("%s: chi2 = %.1f > %.1f (df %.0f)", name, stat, limit, df)
+	}
+}
+
+func TestSampleExactDistribution(t *testing.T) {
+	src := xrand.NewXoshiro256(11)
+	classes := []int64{3, 2, 4}
+	chiSquareAgainstPMF(t, "iterative", classes, 4, func() []int64 {
+		return Sample(src, 4, classes)
+	})
+}
+
+func TestSampleRecExactDistribution(t *testing.T) {
+	src := xrand.NewXoshiro256(13)
+	classes := []int64{3, 2, 4}
+	chiSquareAgainstPMF(t, "recursive", classes, 4, func() []int64 {
+		return SampleRec(src, 4, classes)
+	})
+}
+
+func TestSampleRecMatchesIterativeMarginals(t *testing.T) {
+	// Marginal of class i is hypergeometric; both samplers must agree
+	// on the marginal mean within Monte Carlo error.
+	src := xrand.NewXoshiro256(17)
+	classes := []int64{100, 400, 250, 250}
+	tt := int64(300)
+	const trials = 20000
+	var sumIter, sumRec float64
+	for i := 0; i < trials; i++ {
+		sumIter += float64(Sample(src, tt, classes)[0])
+		sumRec += float64(SampleRec(src, tt, classes)[0])
+	}
+	want := float64(tt) * float64(classes[0]) / float64(Sum(classes))
+	for name, got := range map[string]float64{
+		"iterative": sumIter / trials, "recursive": sumRec / trials,
+	} {
+		if math.Abs(got-want) > 0.5 {
+			t.Fatalf("%s marginal mean %.2f, want %.2f", name, got, want)
+		}
+	}
+}
+
+func TestSampleEmptyAndSingleton(t *testing.T) {
+	src := xrand.NewXoshiro256(19)
+	if out := Sample(src, 0, []int64{}); len(out) != 0 {
+		t.Fatal("empty classes should give empty output")
+	}
+	out := Sample(src, 5, []int64{5})
+	if len(out) != 1 || out[0] != 5 {
+		t.Fatalf("singleton class: %v", out)
+	}
+	out = SampleRec(src, 5, []int64{5})
+	if len(out) != 1 || out[0] != 5 {
+		t.Fatalf("recursive singleton: %v", out)
+	}
+}
+
+func TestSampleZeroClasses(t *testing.T) {
+	src := xrand.NewXoshiro256(23)
+	classes := []int64{0, 7, 0, 3, 0}
+	out := Sample(src, 10, classes)
+	if out[0] != 0 || out[2] != 0 || out[4] != 0 {
+		t.Fatalf("zero classes received draws: %v", out)
+	}
+	if out[1] != 7 || out[3] != 3 {
+		t.Fatalf("full draw should saturate classes: %v", out)
+	}
+}
+
+func BenchmarkSampleP64(b *testing.B) {
+	src := xrand.NewXoshiro256(1)
+	classes := make([]int64, 64)
+	for i := range classes {
+		classes[i] = 1 << 14
+	}
+	tt := Sum(classes) / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleInto(src, tt, classes, make([]int64, 64))
+	}
+}

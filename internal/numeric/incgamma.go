@@ -1,0 +1,103 @@
+package numeric
+
+import "math"
+
+// GammaP returns the regularized lower incomplete gamma function
+// P(a, x) = gamma(a, x) / Gamma(a), for a > 0 and x >= 0.
+//
+// The implementation follows the classic series/continued-fraction split
+// (Numerical Recipes 6.2): the power series converges quickly for
+// x < a+1, the Lentz continued fraction for x >= a+1. Accuracy is ~1e-12,
+// far tighter than anything a goodness-of-fit test needs.
+func GammaP(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x < 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaContFrac(a, x)
+	}
+}
+
+// GammaQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x).
+func GammaQ(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x < 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaSeries(a, x)
+	default:
+		return gammaContFrac(a, x)
+	}
+}
+
+const (
+	gammaEps     = 1e-14
+	gammaMaxIter = 1000
+	gammaFPMin   = 1e-300
+)
+
+// gammaSeries evaluates P(a,x) by its power series.
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContFrac evaluates Q(a,x) by the modified Lentz continued fraction.
+func gammaContFrac(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / gammaFPMin
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < gammaFPMin {
+			d = gammaFPMin
+		}
+		c = b + an/c
+		if math.Abs(c) < gammaFPMin {
+			c = gammaFPMin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquareSF returns the survival function (upper tail probability) of
+// the chi-square distribution with df degrees of freedom at x: the
+// p-value of a goodness-of-fit statistic.
+func ChiSquareSF(x float64, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return GammaQ(df/2, x/2)
+}

@@ -1,0 +1,185 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+func TestLnFacSmall(t *testing.T) {
+	want := []float64{0, 0, math.Log(2), math.Log(6), math.Log(24), math.Log(120)}
+	for n, w := range want {
+		if got := LnFac(int64(n)); !almost(got, w, 1e-12) {
+			t.Fatalf("LnFac(%d) = %g, want %g", n, got, w)
+		}
+	}
+}
+
+func TestLnFacMatchesLgamma(t *testing.T) {
+	for _, n := range []int64{1, 10, 100, 2047, 2048, 5000, 1 << 20, 1 << 40} {
+		want, _ := math.Lgamma(float64(n) + 1)
+		if got := LnFac(n); !almost(got, want, 1e-10) {
+			t.Fatalf("LnFac(%d) = %.15g, want %.15g", n, got, want)
+		}
+	}
+}
+
+func TestLnFacPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LnFac(-1) did not panic")
+		}
+	}()
+	LnFac(-1)
+}
+
+func TestLogBinomKnown(t *testing.T) {
+	cases := []struct {
+		n, k int64
+		want float64
+	}{
+		{5, 2, math.Log(10)},
+		{10, 5, math.Log(252)},
+		{52, 5, math.Log(2598960)},
+		{100, 0, 0},
+		{100, 100, 0},
+	}
+	for _, c := range cases {
+		if got := LogBinom(c.n, c.k); !almost(got, c.want, 1e-10) {
+			t.Fatalf("LogBinom(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestLogBinomOutside(t *testing.T) {
+	if !math.IsInf(LogBinom(5, -1), -1) || !math.IsInf(LogBinom(5, 6), -1) {
+		t.Fatal("LogBinom outside support must be -inf")
+	}
+}
+
+func TestLogBinomSymmetry(t *testing.T) {
+	f := func(n8, k8 uint8) bool {
+		n := int64(n8%60) + 1
+		k := int64(k8) % (n + 1)
+		return almost(LogBinom(n, k), LogBinom(n, n-k), 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogBinomPascal(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k) in linear space.
+	f := func(n8, k8 uint8) bool {
+		n := int64(n8%50) + 2
+		k := int64(k8)%(n-1) + 1
+		lhs := math.Exp(LogBinom(n, k))
+		rhs := math.Exp(LogBinom(n-1, k-1)) + math.Exp(LogBinom(n-1, k))
+		return almost(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogHyperPMFSumsToOne(t *testing.T) {
+	grids := []struct{ t, w, b int64 }{
+		{3, 5, 5}, {10, 20, 5}, {7, 3, 30}, {20, 20, 20}, {1, 1, 1},
+	}
+	for _, g := range grids {
+		sum := 0.0
+		for k := int64(0); k <= g.t; k++ {
+			sum += math.Exp(LogHyperPMF(k, g.t, g.w, g.b))
+		}
+		if !almost(sum, 1, 1e-10) {
+			t.Fatalf("PMF(%v) sums to %g", g, sum)
+		}
+	}
+}
+
+func TestGammaPQComplement(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 10, 100} {
+		for _, x := range []float64{0.1, 0.5, 1, 2, 5, 20, 150} {
+			p, q := GammaP(a, x), GammaQ(a, x)
+			if !almost(p+q, 1, 1e-10) {
+				t.Fatalf("P(%g,%g)+Q = %g", a, x, p+q)
+			}
+			if p < 0 || p > 1 || q < 0 || q > 1 {
+				t.Fatalf("P/Q out of [0,1] at a=%g x=%g", a, x)
+			}
+		}
+	}
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}.
+	for _, x := range []float64{0.5, 1, 2, 4} {
+		want := 1 - math.Exp(-x)
+		if got := GammaP(1, x); !almost(got, want, 1e-10) {
+			t.Fatalf("GammaP(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	// P(1/2, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 2.25} {
+		want := math.Erf(math.Sqrt(x))
+		if got := GammaP(0.5, x); !almost(got, want, 1e-10) {
+			t.Fatalf("GammaP(0.5,%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestGammaPMonotone(t *testing.T) {
+	f := func(a8, seed uint8) bool {
+		a := float64(a8%40)/4 + 0.25
+		x1 := float64(seed%100) / 10
+		x2 := x1 + 0.7
+		return GammaP(a, x1) <= GammaP(a, x2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaPEdge(t *testing.T) {
+	if GammaP(2, 0) != 0 {
+		t.Fatal("GammaP(a,0) must be 0")
+	}
+	if GammaQ(2, 0) != 1 {
+		t.Fatal("GammaQ(a,0) must be 1")
+	}
+	if !math.IsNaN(GammaP(-1, 2)) || !math.IsNaN(GammaP(2, -1)) {
+		t.Fatal("invalid arguments must yield NaN")
+	}
+}
+
+func TestChiSquareSFKnown(t *testing.T) {
+	// Classic critical values: P(chi2_1 > 3.841) = 0.05,
+	// P(chi2_10 > 18.307) = 0.05, P(chi2_2 > x) = exp(-x/2).
+	if got := ChiSquareSF(3.841, 1); !almost(got, 0.05, 2e-3) {
+		t.Fatalf("SF(3.841, 1) = %g", got)
+	}
+	if got := ChiSquareSF(18.307, 10); !almost(got, 0.05, 2e-3) {
+		t.Fatalf("SF(18.307, 10) = %g", got)
+	}
+	for _, x := range []float64{1, 3, 9} {
+		want := math.Exp(-x / 2)
+		if got := ChiSquareSF(x, 2); !almost(got, want, 1e-9) {
+			t.Fatalf("SF(%g, 2) = %g want %g", x, got, want)
+		}
+	}
+	if ChiSquareSF(0, 5) != 1 || ChiSquareSF(-3, 5) != 1 {
+		t.Fatal("SF at or below 0 must be 1")
+	}
+}

@@ -1,0 +1,60 @@
+package pro
+
+import "sync"
+
+// barrier is a reusable (cyclic) barrier for p goroutines using a
+// generation counter, the textbook condition-variable construction.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	p        int
+	waiting  int
+	gen      uint64
+	poisoned bool
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all p participants have called await for the current
+// generation.
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic(errPoisoned)
+	}
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.p {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic(errPoisoned)
+	}
+}
+
+// poison releases all waiters with a panic.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// reset clears the poisoned flag and waiter count between runs.
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.poisoned = false
+	b.waiting = 0
+	b.mu.Unlock()
+}

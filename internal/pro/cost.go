@@ -1,0 +1,161 @@
+package pro
+
+// StepCost accumulates the communication and computation charged to one
+// processor during one superstep.
+type StepCost struct {
+	Ops      int64 // local operations (charged by the algorithm via AddOps)
+	Draws    int64 // raw random numbers (charged via AddDraws)
+	MsgsOut  int64
+	MsgsIn   int64
+	BytesOut int64
+	BytesIn  int64
+}
+
+// Cost is the per-processor cost ledger. It is only mutated by its owning
+// processor goroutine during Run; read it after Run returns.
+type Cost struct {
+	steps []StepCost
+	super int
+}
+
+func newCost() *Cost {
+	return &Cost{steps: make([]StepCost, 1)}
+}
+
+func (c *Cost) cur() *StepCost { return &c.steps[c.super] }
+
+func (c *Cost) advance() {
+	c.super++
+	c.steps = append(c.steps, StepCost{})
+}
+
+func (c *Cost) superstep() int { return c.super }
+
+// Steps returns the per-superstep cost records accumulated so far.
+func (c *Cost) Steps() []StepCost { return c.steps }
+
+// Totals returns the sums over all supersteps.
+func (c *Cost) Totals() StepCost {
+	var t StepCost
+	for _, s := range c.steps {
+		t.Ops += s.Ops
+		t.Draws += s.Draws
+		t.MsgsOut += s.MsgsOut
+		t.MsgsIn += s.MsgsIn
+		t.BytesOut += s.BytesOut
+		t.BytesIn += s.BytesIn
+	}
+	return t
+}
+
+// StepSummary is the machine-wide view of one superstep in the BSP cost
+// formula: W is the maximum local work of any processor, H the h-relation
+// (maximum of per-processor in- and out-bytes).
+type StepSummary struct {
+	W int64
+	H int64
+}
+
+// Report is the machine-wide cost accounting of one or more Runs.
+type Report struct {
+	P          int
+	Supersteps int
+	PerProc    []StepCost    // totals per processor
+	Steps      []StepSummary // BSP per-superstep summaries
+}
+
+// Report aggregates the per-processor ledgers into the BSP view. Call it
+// after Run has returned.
+func (m *Machine) Report() Report {
+	r := Report{P: m.p, Supersteps: m.maxSuper + 1}
+	r.PerProc = make([]StepCost, m.p)
+	r.Steps = make([]StepSummary, r.Supersteps)
+	for rank, c := range m.costs {
+		r.PerProc[rank] = c.Totals()
+		for s, sc := range c.steps {
+			if s >= len(r.Steps) {
+				break
+			}
+			if sc.Ops > r.Steps[s].W {
+				r.Steps[s].W = sc.Ops
+			}
+			h := sc.BytesOut
+			if sc.BytesIn > h {
+				h = sc.BytesIn
+			}
+			if h > r.Steps[s].H {
+				r.Steps[s].H = h
+			}
+		}
+	}
+	return r
+}
+
+// MaxOps returns the largest per-processor total operation count: the
+// "balance" quantity of the paper (no processor may exceed O(m)).
+func (r Report) MaxOps() int64 {
+	var m int64
+	for _, pc := range r.PerProc {
+		if pc.Ops > m {
+			m = pc.Ops
+		}
+	}
+	return m
+}
+
+// MaxDraws returns the largest per-processor random-draw count.
+func (r Report) MaxDraws() int64 {
+	var m int64
+	for _, pc := range r.PerProc {
+		if pc.Draws > m {
+			m = pc.Draws
+		}
+	}
+	return m
+}
+
+// MaxBytes returns the largest per-processor communication volume
+// (max of bytes in, bytes out).
+func (r Report) MaxBytes() int64 {
+	var m int64
+	for _, pc := range r.PerProc {
+		if pc.BytesOut > m {
+			m = pc.BytesOut
+		}
+		if pc.BytesIn > m {
+			m = pc.BytesIn
+		}
+	}
+	return m
+}
+
+// TotalOps returns the summed operation count over all processors (the
+// "work" of work-optimality).
+func (r Report) TotalOps() int64 {
+	var t int64
+	for _, pc := range r.PerProc {
+		t += pc.Ops
+	}
+	return t
+}
+
+// TotalDraws returns the summed random-draw count.
+func (r Report) TotalDraws() int64 {
+	var t int64
+	for _, pc := range r.PerProc {
+		t += pc.Draws
+	}
+	return t
+}
+
+// ModelTime evaluates the BSP cost formula T = sum_s (w_s + g*h_s + L)
+// with bandwidth parameter g (time per byte) and latency/synchronization
+// parameter L (time per superstep), in abstract time units where one local
+// operation costs 1.
+func (r Report) ModelTime(g, l float64) float64 {
+	t := 0.0
+	for _, s := range r.Steps {
+		t += float64(s.W) + g*float64(s.H) + l
+	}
+	return t
+}

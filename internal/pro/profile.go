@@ -1,0 +1,22 @@
+package pro
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ProfileString renders the report as a per-superstep text profile: the
+// BSP decomposition of the run (W = maximum local operations, H =
+// h-relation in bytes), followed by per-machine totals. It is the
+// observability surface for tuning the algorithms' superstep structure.
+func (r Report) ProfileString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "machine: p=%d, %d supersteps\n", r.P, r.Supersteps)
+	fmt.Fprintf(&sb, "%-6s %14s %14s\n", "step", "W (max ops)", "H (bytes)")
+	for s, step := range r.Steps {
+		fmt.Fprintf(&sb, "%-6d %14d %14d\n", s, step.W, step.H)
+	}
+	fmt.Fprintf(&sb, "totals: ops max/proc %d, sum %d; draws max/proc %d, sum %d; comm max/proc %d bytes\n",
+		r.MaxOps(), r.TotalOps(), r.MaxDraws(), r.TotalDraws(), r.MaxBytes())
+	return sb.String()
+}

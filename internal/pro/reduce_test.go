@@ -1,0 +1,80 @@
+package pro
+
+import "testing"
+
+func TestReduce(t *testing.T) {
+	m := NewMachine(6)
+	err := m.Run(func(p *Proc) {
+		got := Reduce(p, 2, int64(p.Rank()+1), func(a, b int64) int64 { return a + b })
+		if p.Rank() == 2 {
+			if got != 21 {
+				t.Errorf("reduce sum = %d, want 21", got)
+			}
+		} else if got != 0 {
+			t.Errorf("non-root received %d", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceNonCommutative(t *testing.T) {
+	// String concatenation: rank order must be preserved.
+	m := NewMachine(4)
+	err := m.Run(func(p *Proc) {
+		s := string(rune('a' + p.Rank()))
+		got := Reduce(p, 0, s, func(a, b string) string { return a + b })
+		if p.Rank() == 0 && got != "abcd" {
+			t.Errorf("ordered reduce = %q", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	m := NewMachine(5)
+	err := m.Run(func(p *Proc) {
+		maxRank := AllReduce(p, p.Rank(), func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if maxRank != 4 {
+			t.Errorf("rank %d: allreduce max = %d", p.Rank(), maxRank)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExScan(t *testing.T) {
+	m := NewMachine(6)
+	err := m.Run(func(p *Proc) {
+		got := ExScan(p, int64(p.Rank()+1), func(a, b int64) int64 { return a + b }, 0)
+		// Exclusive prefix of 1,2,3,...: rank r gets r(r+1)/2.
+		want := int64(p.Rank()) * int64(p.Rank()+1) / 2
+		if got != want {
+			t.Errorf("rank %d: exscan = %d, want %d", p.Rank(), got, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExScanSingleProc(t *testing.T) {
+	m := NewMachine(1)
+	err := m.Run(func(p *Proc) {
+		if got := ExScan(p, 42, func(a, b int) int { return a + b }, 0); got != 0 {
+			t.Errorf("p=1 exscan = %d, want 0", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package pro
+
+import "reflect"
+
+// Sized lets message payload types report their own wire size to the cost
+// accounting.
+type Sized interface {
+	SizeBytes() int
+}
+
+// DefaultSize estimates the wire size of a payload in bytes. Common
+// numeric slices are handled without reflection; everything else falls
+// back to reflect (slices count len * element size, scalars their own
+// size). Pointers and reference-heavy types should implement Sized for
+// faithful accounting.
+func DefaultSize(v any) int {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case Sized:
+		return x.SizeBytes()
+	case []int64:
+		return 8 * len(x)
+	case []uint64:
+		return 8 * len(x)
+	case []float64:
+		return 8 * len(x)
+	case []int:
+		return 8 * len(x)
+	case []int32:
+		return 4 * len(x)
+	case []uint32:
+		return 4 * len(x)
+	case []byte:
+		return len(x)
+	case string:
+		return len(x)
+	case int, int64, uint64, float64:
+		return 8
+	case int32, uint32, float32:
+		return 4
+	case bool, int8, uint8:
+		return 1
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Slice, reflect.Array:
+		if rv.Len() == 0 {
+			return 0
+		}
+		return rv.Len() * int(rv.Type().Elem().Size())
+	default:
+		return int(rv.Type().Size())
+	}
+}

@@ -1,0 +1,191 @@
+// Package psort provides a parallel sample sort (parallel sorting by
+// regular sampling, PSRS) on the pro machine. It exists as the substrate
+// for the Goodrich-style sort-based shuffle baseline: that algorithm's
+// superlinear work must be real, measured work, not an assumption.
+package psort
+
+import (
+	"container/heap"
+	"sort"
+
+	"randperm/internal/pro"
+)
+
+// KV is a sortable item: a 64-bit key carrying an int64 payload. The
+// sort-based shuffle baseline uses random keys and item identities as
+// payloads.
+type KV struct {
+	Key uint64
+	Val int64
+}
+
+// kvSlice implements pro.Sized so messages account their true volume.
+type kvSlice []KV
+
+func (s kvSlice) SizeBytes() int { return 16 * len(s) }
+
+// SortKV globally sorts the distributed blocks by Key (ties broken by
+// Val) using parallel sorting by regular sampling. Every processor calls
+// it with its local block; the returned local block is globally sorted
+// across ranks (block i's items all precede block i+1's) but block sizes
+// may differ from the input (regular sampling bounds them by ~2n/p).
+//
+// Cost per processor: O(m log m) local sorting plus one all-to-all, the
+// profile that makes the Goodrich baseline not work-optimal.
+func SortKV(pr *pro.Proc, local []KV) []KV {
+	p := pr.P()
+	// Phase 1: local sort.
+	sortKVs(local)
+	pr.AddOps(opsSort(len(local)))
+	if p == 1 {
+		return local
+	}
+
+	// Phase 2: regular samples to the root.
+	samples := make([]uint64, 0, p-1)
+	for k := 1; k < p; k++ {
+		idx := k * len(local) / p
+		if idx >= len(local) {
+			idx = len(local) - 1
+		}
+		if len(local) > 0 {
+			samples = append(samples, local[idx].Key)
+		}
+	}
+	gathered := pro.Gather(pr, 0, samples)
+
+	// Phase 3: root selects p-1 splitters, broadcasts.
+	var splitters []uint64
+	if pr.Rank() == 0 {
+		var all []uint64
+		for _, s := range gathered {
+			all = append(all, s...)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		splitters = make([]uint64, 0, p-1)
+		for k := 1; k < p; k++ {
+			if len(all) == 0 {
+				splitters = append(splitters, 0)
+				continue
+			}
+			idx := k * len(all) / p
+			if idx >= len(all) {
+				idx = len(all) - 1
+			}
+			splitters = append(splitters, all[idx])
+		}
+		pr.AddOps(opsSort(len(all)))
+	}
+	splitters = pro.Bcast(pr, 0, splitters)
+
+	// Phase 4: partition the local block by the splitters and
+	// exchange. Partition j receives keys in (splitters[j-1],
+	// splitters[j]]; binary search finds the boundaries.
+	parts := make([]kvSlice, p)
+	start := 0
+	for j := 0; j < p-1; j++ {
+		end := sort.Search(len(local), func(i int) bool {
+			return local[i].Key > splitters[j]
+		})
+		parts[j] = kvSlice(local[start:end])
+		start = end
+	}
+	parts[p-1] = kvSlice(local[start:])
+	pr.AddOps(int64(len(local)))
+	recv := pro.AllToAll(pr, parts)
+
+	// Phase 5: p-way merge of the sorted runs.
+	runs := make([][]KV, 0, p)
+	total := 0
+	for _, r := range recv {
+		if len(r) > 0 {
+			runs = append(runs, []KV(r))
+			total += len(r)
+		}
+	}
+	merged := mergeRuns(runs, total)
+	pr.AddOps(opsMerge(total, len(runs)))
+	return merged
+}
+
+func sortKVs(x []KV) {
+	sort.Slice(x, func(a, b int) bool {
+		if x[a].Key != x[b].Key {
+			return x[a].Key < x[b].Key
+		}
+		return x[a].Val < x[b].Val
+	})
+}
+
+// runHeap is a min-heap over the heads of sorted runs.
+type runHeap struct {
+	runs [][]KV
+	pos  []int
+	idx  []int // heap of run indices
+}
+
+func (h *runHeap) Len() int { return len(h.idx) }
+func (h *runHeap) Less(a, b int) bool {
+	ra, rb := h.idx[a], h.idx[b]
+	ka := h.runs[ra][h.pos[ra]]
+	kb := h.runs[rb][h.pos[rb]]
+	if ka.Key != kb.Key {
+		return ka.Key < kb.Key
+	}
+	return ka.Val < kb.Val
+}
+func (h *runHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *runHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
+func (h *runHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+// mergeRuns merges sorted runs into one sorted slice with a heap-based
+// k-way merge: O(total log k).
+func mergeRuns(runs [][]KV, total int) []KV {
+	out := make([]KV, 0, total)
+	h := &runHeap{runs: runs, pos: make([]int, len(runs))}
+	for i := range runs {
+		h.idx = append(h.idx, i)
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		r := h.idx[0]
+		out = append(out, runs[r][h.pos[r]])
+		h.pos[r]++
+		if h.pos[r] == len(runs[r]) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}
+
+// opsSort charges ~n log2 n operations for a comparison sort.
+func opsSort(n int) int64 {
+	if n <= 1 {
+		return int64(n)
+	}
+	ops := int64(0)
+	for m := n; m > 1; m >>= 1 {
+		ops++
+	}
+	return int64(n) * ops
+}
+
+// opsMerge charges ~n log2 k for a k-way merge.
+func opsMerge(n, k int) int64 {
+	if n == 0 || k <= 1 {
+		return int64(n)
+	}
+	ops := int64(0)
+	for m := k; m > 1; m >>= 1 {
+		ops++
+	}
+	return int64(n) * ops
+}

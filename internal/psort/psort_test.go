@@ -1,0 +1,161 @@
+package psort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"randperm/internal/pro"
+	"randperm/internal/xrand"
+)
+
+// runSort sorts distributed random data and returns the concatenated
+// result plus per-rank block sizes.
+func runSort(t *testing.T, p int, blockSizes []int, seed uint64) ([]KV, []int) {
+	t.Helper()
+	m := pro.NewMachine(p)
+	streams := xrand.NewStreams(seed, p)
+	out := make([][]KV, p)
+	err := m.Run(func(pr *pro.Proc) {
+		rank := pr.Rank()
+		local := make([]KV, blockSizes[rank])
+		for i := range local {
+			local[i] = KV{Key: streams[rank].Uint64(), Val: int64(rank*1000000 + i)}
+		}
+		out[rank] = SortKV(pr, local)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []KV
+	sizes := make([]int, p)
+	for i, b := range out {
+		flat = append(flat, b...)
+		sizes[i] = len(b)
+	}
+	return flat, sizes
+}
+
+func TestSortedGlobally(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8, 13} {
+		sizes := make([]int, p)
+		for i := range sizes {
+			sizes[i] = 500 + i*37
+		}
+		flat, _ := runSort(t, p, sizes, uint64(p))
+		for i := 1; i < len(flat); i++ {
+			if flat[i].Key < flat[i-1].Key {
+				t.Fatalf("p=%d: out of order at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestMultisetPreserved(t *testing.T) {
+	p := 5
+	sizes := []int{100, 0, 250, 17, 333}
+	flat, _ := runSort(t, p, sizes, 99)
+	want := 0
+	for _, s := range sizes {
+		want += s
+	}
+	if len(flat) != want {
+		t.Fatalf("lost items: %d of %d", len(flat), want)
+	}
+	// Vals encode origin; all must be distinct and accounted for.
+	seen := make(map[int64]bool, len(flat))
+	for _, kv := range flat {
+		if seen[kv.Val] {
+			t.Fatalf("duplicate val %d", kv.Val)
+		}
+		seen[kv.Val] = true
+	}
+}
+
+func TestRegularSamplingBalance(t *testing.T) {
+	// PSRS bounds each output block by ~2n/p for random input.
+	p := 8
+	per := 2000
+	sizes := make([]int, p)
+	for i := range sizes {
+		sizes[i] = per
+	}
+	_, outSizes := runSort(t, p, sizes, 7)
+	for i, s := range outSizes {
+		if s > 3*per {
+			t.Fatalf("block %d holds %d items (> 3x input block)", i, s)
+		}
+	}
+}
+
+func TestEmptyBlocks(t *testing.T) {
+	flat, _ := runSort(t, 4, []int{0, 0, 0, 0}, 3)
+	if len(flat) != 0 {
+		t.Fatal("ghost items appeared")
+	}
+}
+
+func TestAgainstSequentialSort(t *testing.T) {
+	p := 4
+	sizes := []int{64, 64, 64, 64}
+	flat, _ := runSort(t, p, sizes, 11)
+	ref := append([]KV(nil), flat...)
+	sort.Slice(ref, func(a, b int) bool {
+		if ref[a].Key != ref[b].Key {
+			return ref[a].Key < ref[b].Key
+		}
+		return ref[a].Val < ref[b].Val
+	})
+	for i := range flat {
+		if flat[i] != ref[i] {
+			t.Fatalf("parallel sort differs from sequential at %d", i)
+		}
+	}
+}
+
+func TestMergeRunsProperty(t *testing.T) {
+	f := func(raw [][]uint16) bool {
+		var runs [][]KV
+		total := 0
+		for _, r := range raw {
+			if len(r) == 0 {
+				continue
+			}
+			run := make([]KV, len(r))
+			for i, v := range r {
+				run[i] = KV{Key: uint64(v), Val: int64(i)}
+			}
+			sort.Slice(run, func(a, b int) bool { return run[a].Key < run[b].Key })
+			runs = append(runs, run)
+			total += len(run)
+		}
+		out := mergeRuns(runs, total)
+		if len(out) != total {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].Key < out[i-1].Key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpsEstimators(t *testing.T) {
+	if opsSort(0) != 0 || opsSort(1) != 1 {
+		t.Fatal("opsSort edge cases")
+	}
+	if opsSort(1024) != 1024*10 {
+		t.Fatalf("opsSort(1024) = %d", opsSort(1024))
+	}
+	if opsMerge(100, 1) != 100 {
+		t.Fatal("opsMerge k=1")
+	}
+	if opsMerge(100, 8) != 300 {
+		t.Fatalf("opsMerge(100,8) = %d", opsMerge(100, 8))
+	}
+}

@@ -1,0 +1,72 @@
+// Package seqperm collects sequential permutation algorithms: the
+// Fisher-Yates reference against which the PRO model measures optimality,
+// Sattolo's variant (deliberately non-uniform over all permutations, used
+// as a negative control for the statistical tests), the sort-by-random-
+// keys method (the work profile of Goodrich's BSP algorithm in a single
+// processor), and the paper's "outlook": a cache-friendly block shuffle
+// that reuses the communication-matrix idea sequentially.
+package seqperm
+
+import (
+	"sort"
+
+	"randperm/internal/xrand"
+)
+
+// FisherYates permutes x uniformly in place: the reference sequential
+// algorithm of the paper (n-1 bounded draws, O(n) time, but a random
+// memory access pattern that makes it bandwidth bound - experiment E1).
+func FisherYates[T any](src xrand.Source, x []T) {
+	xrand.Shuffle(src, x)
+}
+
+// Sattolo permutes x in place into a uniformly random *cyclic*
+// permutation. Over the set of all permutations this is non-uniform
+// ((n-1)! of the n! outcomes have positive probability), making it a
+// sharp negative control: any sound uniformity test must reject it.
+func Sattolo[T any](src xrand.Source, x []T) {
+	for i := len(x) - 1; i > 0; i-- {
+		j := xrand.Intn(src, i) // note: i, not i+1
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// SortShuffle permutes x by attaching an independent uniform 64-bit key
+// to every item and sorting. This is the sequential shadow of Goodrich's
+// BSP algorithm: uniform (up to the ~n^2/2^64 probability of a key
+// collision) but Theta(n log n) work - the "log n per item" superlinear
+// cost the paper's introduction criticizes.
+func SortShuffle[T any](src xrand.Source, x []T) {
+	type kv struct {
+		key uint64
+		idx int
+	}
+	keys := make([]kv, len(x))
+	for i := range keys {
+		keys[i] = kv{key: src.Uint64(), idx: i}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].key != keys[b].key {
+			return keys[a].key < keys[b].key
+		}
+		return keys[a].idx < keys[b].idx
+	})
+	out := make([]T, len(x))
+	for i, k := range keys {
+		out[i] = x[k.idx]
+	}
+	copy(x, out)
+}
+
+// IsPermutationOfIota reports whether x contains each of 0..len(x)-1
+// exactly once; a cheap oracle for tests.
+func IsPermutationOfIota(x []int64) bool {
+	seen := make([]bool, len(x))
+	for _, v := range x {
+		if v < 0 || v >= int64(len(x)) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+package seqperm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"randperm/internal/stats"
+	"randperm/internal/xrand"
+)
+
+func iota64(n int) []int64 {
+	x := make([]int64, n)
+	for i := range x {
+		x[i] = int64(i)
+	}
+	return x
+}
+
+func TestFisherYatesIsPermutation(t *testing.T) {
+	src := xrand.NewXoshiro256(1)
+	for _, n := range []int{0, 1, 2, 100, 10000} {
+		x := iota64(n)
+		FisherYates(src, x)
+		if !IsPermutationOfIota(x) {
+			t.Fatalf("n=%d: not a permutation", n)
+		}
+	}
+}
+
+func TestSattoloIsCyclic(t *testing.T) {
+	// Sattolo must always produce a single n-cycle.
+	src := xrand.NewXoshiro256(2)
+	for _, n := range []int{2, 3, 5, 20, 101} {
+		x := iota64(n)
+		Sattolo(src, x)
+		if !IsPermutationOfIota(x) {
+			t.Fatalf("n=%d: not a permutation", n)
+		}
+		// Follow the cycle from 0; it must visit all n elements.
+		seen := 0
+		pos := int64(0)
+		for {
+			pos = x[pos]
+			seen++
+			if pos == 0 {
+				break
+			}
+			if seen > n {
+				t.Fatalf("n=%d: not a single cycle", n)
+			}
+		}
+		if seen != n {
+			t.Fatalf("n=%d: cycle length %d", n, seen)
+		}
+	}
+}
+
+func TestSortShuffleIsPermutation(t *testing.T) {
+	src := xrand.NewXoshiro256(3)
+	for _, n := range []int{0, 1, 2, 100, 5000} {
+		x := iota64(n)
+		SortShuffle(src, x)
+		if !IsPermutationOfIota(x) {
+			t.Fatalf("n=%d: not a permutation", n)
+		}
+	}
+}
+
+func TestBlockShuffleIsPermutation(t *testing.T) {
+	src := xrand.NewXoshiro256(4)
+	opts := []BlockShuffleOptions{
+		{},                          // defaults
+		{Fanout: 2, Threshold: 4},   // deep recursion
+		{Fanout: 16, Threshold: 64}, // shallow
+		{Fanout: 3, Threshold: 1},
+	}
+	for _, opt := range opts {
+		for _, n := range []int{0, 1, 2, 7, 63, 64, 65, 1000, 40000} {
+			x := iota64(n)
+			BlockShuffle(src, x, opt)
+			if !IsPermutationOfIota(x) {
+				t.Fatalf("opt=%+v n=%d: not a permutation", opt, n)
+			}
+		}
+	}
+}
+
+func TestBlockShufflePropertyRandomSizes(t *testing.T) {
+	src := xrand.NewXoshiro256(5)
+	f := func(n16 uint16, fan, thr uint8) bool {
+		n := int(n16 % 3000)
+		opt := BlockShuffleOptions{
+			Fanout:    int(fan%20) + 2,
+			Threshold: int(thr%100) + 1,
+		}
+		x := iota64(n)
+		BlockShuffle(src, x, opt)
+		return IsPermutationOfIota(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func uniformityCheck(t *testing.T, name string, trials int, shuffle func([]int64)) stats.GOFResult {
+	t.Helper()
+	const n = 4
+	counts := make([]int64, stats.Factorial(n))
+	for tr := 0; tr < trials; tr++ {
+		x := iota64(n)
+		shuffle(x)
+		counts[stats.RankPermInt64(x)]++
+	}
+	res, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res
+}
+
+func TestUniformityPositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	src := xrand.NewXoshiro256(6)
+	const trials = 48000
+	cases := map[string]func([]int64){
+		"fisher-yates": func(x []int64) { FisherYates(src, x) },
+		"sort-shuffle": func(x []int64) { SortShuffle(src, x) },
+		"block-shuffle": func(x []int64) {
+			BlockShuffle(src, x, BlockShuffleOptions{Fanout: 2, Threshold: 1})
+		},
+	}
+	for name, fn := range cases {
+		if res := uniformityCheck(t, name, trials, fn); res.Reject(0.0005) {
+			t.Errorf("%s non-uniform: %s", name, res)
+		}
+	}
+}
+
+func TestUniformityNegativeControl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	src := xrand.NewXoshiro256(7)
+	res := uniformityCheck(t, "sattolo", 48000, func(x []int64) { Sattolo(src, x) })
+	if !res.Reject(0.001) {
+		t.Errorf("sattolo slipped past the chi-square test: %s", res)
+	}
+}
+
+func TestIsPermutationOfIota(t *testing.T) {
+	if !IsPermutationOfIota([]int64{2, 0, 1}) {
+		t.Fatal("valid permutation rejected")
+	}
+	if IsPermutationOfIota([]int64{0, 0, 2}) {
+		t.Fatal("duplicate accepted")
+	}
+	if IsPermutationOfIota([]int64{0, 3}) {
+		t.Fatal("out of range accepted")
+	}
+	if !IsPermutationOfIota(nil) {
+		t.Fatal("empty should be a permutation")
+	}
+}
+
+func BenchmarkFisherYates1M(b *testing.B) {
+	src := xrand.NewXoshiro256(1)
+	x := iota64(1 << 20)
+	b.SetBytes(8 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FisherYates(src, x)
+	}
+}
+
+func BenchmarkBlockShuffle1M(b *testing.B) {
+	src := xrand.NewXoshiro256(1)
+	x := iota64(1 << 20)
+	b.SetBytes(8 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BlockShuffle(src, x, BlockShuffleOptions{})
+	}
+}
+
+func BenchmarkSortShuffle1M(b *testing.B) {
+	src := xrand.NewXoshiro256(1)
+	x := iota64(1 << 20)
+	b.SetBytes(8 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SortShuffle(src, x)
+	}
+}

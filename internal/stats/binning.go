@@ -1,0 +1,60 @@
+package stats
+
+// BinCells merges adjacent cells of a discrete distribution until every
+// merged cell has expected count >= minExpected under the given total,
+// the standard preparation for a calibrated Pearson chi-square test on
+// long-tailed supports (hypergeometric tails have many cells with
+// near-zero probability which would otherwise distort the statistic's
+// degrees of freedom).
+//
+// It returns the merged observed counts and probabilities. A trailing
+// underfull bin is merged into its predecessor.
+func BinCells(obs []int64, probs []float64, minExpected float64, total int64) ([]int64, []float64) {
+	if len(obs) != len(probs) || len(obs) == 0 {
+		return obs, probs
+	}
+	var mergedObs []int64
+	var mergedProbs []float64
+	var accObs int64
+	var accProb float64
+	for i := range obs {
+		accObs += obs[i]
+		accProb += probs[i]
+		if accProb*float64(total) >= minExpected {
+			mergedObs = append(mergedObs, accObs)
+			mergedProbs = append(mergedProbs, accProb)
+			accObs, accProb = 0, 0
+		}
+	}
+	if accProb > 0 || accObs > 0 {
+		if len(mergedObs) == 0 {
+			return []int64{accObs}, []float64{accProb}
+		}
+		mergedObs[len(mergedObs)-1] += accObs
+		mergedProbs[len(mergedProbs)-1] += accProb
+	}
+	return mergedObs, mergedProbs
+}
+
+// ChiSquareBinned bins cells to at least minExpected expected
+// observations and then runs the Pearson test; the convenience wrapper
+// used by the distribution-matching experiments.
+func ChiSquareBinned(obs []int64, probs []float64, minExpected float64) (GOFResult, error) {
+	var total int64
+	for _, o := range obs {
+		total += o
+	}
+	bObs, bProbs := BinCells(obs, probs, minExpected, total)
+	// Renormalize: the input probabilities may sum to slightly less
+	// than 1 when the support was truncated.
+	var psum float64
+	for _, p := range bProbs {
+		psum += p
+	}
+	if psum > 0 && (psum < 0.999999 || psum > 1.000001) {
+		for i := range bProbs {
+			bProbs[i] /= psum
+		}
+	}
+	return ChiSquare(bObs, bProbs)
+}

@@ -1,0 +1,115 @@
+// Package stats provides the statistical machinery behind the uniformity
+// experiments: Pearson chi-square goodness-of-fit testing with exact
+// p-values, permutation ranking (Lehmer codes) so that whole permutations
+// can be used as chi-square cells, and small-sample summaries.
+package stats
+
+import (
+	"fmt"
+
+	"randperm/internal/numeric"
+)
+
+// GOFResult is the outcome of a goodness-of-fit test.
+type GOFResult struct {
+	Stat  float64 // Pearson X^2 statistic
+	DF    int     // degrees of freedom
+	P     float64 // upper-tail p-value
+	Total int64   // number of observations
+}
+
+// Reject reports whether the test rejects the null hypothesis at
+// significance level alpha.
+func (r GOFResult) Reject(alpha float64) bool { return r.P < alpha }
+
+// String renders the result for experiment tables.
+func (r GOFResult) String() string {
+	return fmt.Sprintf("X2=%.2f df=%d p=%.4f", r.Stat, r.DF, r.P)
+}
+
+// ChiSquare tests observed counts against expected cell probabilities.
+// probs must sum to ~1 and have the same length as obs; cells with zero
+// probability must have zero observations (otherwise the statistic is
+// infinite and the null is rejected outright with P=0).
+func ChiSquare(obs []int64, probs []float64) (GOFResult, error) {
+	if len(obs) != len(probs) {
+		return GOFResult{}, fmt.Errorf("stats: %d observed cells, %d probabilities", len(obs), len(probs))
+	}
+	if len(obs) < 2 {
+		return GOFResult{}, fmt.Errorf("stats: need at least 2 cells, got %d", len(obs))
+	}
+	var total int64
+	var psum float64
+	for i, o := range obs {
+		if o < 0 {
+			return GOFResult{}, fmt.Errorf("stats: negative count in cell %d", i)
+		}
+		if probs[i] < 0 {
+			return GOFResult{}, fmt.Errorf("stats: negative probability in cell %d", i)
+		}
+		total += o
+		psum += probs[i]
+	}
+	if total == 0 {
+		return GOFResult{}, fmt.Errorf("stats: no observations")
+	}
+	if psum < 0.999999 || psum > 1.000001 {
+		return GOFResult{}, fmt.Errorf("stats: probabilities sum to %g, want 1", psum)
+	}
+	stat := 0.0
+	df := len(obs) - 1
+	for i, o := range obs {
+		exp := probs[i] * float64(total)
+		if exp == 0 {
+			if o != 0 {
+				return GOFResult{Stat: float64(o), DF: df, P: 0, Total: total}, nil
+			}
+			df-- // impossible cell carries no information
+			continue
+		}
+		d := float64(o) - exp
+		stat += d * d / exp
+	}
+	if df < 1 {
+		df = 1
+	}
+	return GOFResult{
+		Stat:  stat,
+		DF:    df,
+		P:     numeric.ChiSquareSF(stat, float64(df)),
+		Total: total,
+	}, nil
+}
+
+// ChiSquareUniform tests observed counts against the uniform law over the
+// cells.
+func ChiSquareUniform(obs []int64) (GOFResult, error) {
+	probs := make([]float64, len(obs))
+	for i := range probs {
+		probs[i] = 1 / float64(len(obs))
+	}
+	return ChiSquare(obs, probs)
+}
+
+// TotalVariation returns the total variation distance between the
+// empirical distribution of obs and the law probs: half the L1 distance,
+// in [0, 1].
+func TotalVariation(obs []int64, probs []float64) float64 {
+	var total int64
+	for _, o := range obs {
+		total += o
+	}
+	if total == 0 {
+		return 0
+	}
+	d := 0.0
+	for i, o := range obs {
+		f := float64(o) / float64(total)
+		diff := f - probs[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	return d / 2
+}

@@ -1,0 +1,81 @@
+package stats
+
+import "fmt"
+
+// Binomial returns C(n, k) exactly as an int64, panicking on overflow.
+// The multiplicative evaluation keeps intermediate values exact because
+// the running product after i factors equals C(n, i) * (a factor not yet
+// divided out); intermediates are carried in uint64, whose extra bit
+// covers every n <= 62 (the largest n with C(n, k) inside int64).
+func Binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c uint64 = 1
+	for i := 0; i < k; i++ {
+		// c = c * (n-i) / (i+1); the division is exact because the
+		// running value equals C(n, i+1) afterwards.
+		num := c * uint64(n-i)
+		if num/uint64(n-i) != c {
+			panic(fmt.Sprintf("stats: Binomial(%d,%d) overflows", n, k))
+		}
+		c = num / uint64(i+1)
+	}
+	if c > uint64(1<<63-1) {
+		panic(fmt.Sprintf("stats: Binomial(%d,%d) overflows int64", n, k))
+	}
+	return int64(c)
+}
+
+// RankComb returns the colexicographic rank, in [0, C(n,k)), of a
+// k-combination of {0..n-1} given as a strictly increasing slice. It is
+// the subset analog of RankPerm: uniformity experiments on random
+// sampling use the rank as the chi-square cell index, turning "all
+// C(n,k) subsets equally likely" into a uniform law on {0..C(n,k)-1}.
+func RankComb(comb []int, n int) int64 {
+	var rank int64
+	prev := -1
+	for i, c := range comb {
+		if c <= prev || c >= n {
+			panic(fmt.Sprintf("stats: not a sorted combination at position %d", i))
+		}
+		prev = c
+		rank += Binomial(c, i+1)
+	}
+	return rank
+}
+
+// UnrankComb inverts RankComb: it returns the k-combination of {0..n-1}
+// with the given colexicographic rank.
+func UnrankComb(rank int64, n, k int) []int {
+	comb := make([]int, k)
+	for i := k; i >= 1; i-- {
+		// Largest c with C(c, i) <= rank.
+		c := i - 1
+		for Binomial(c+1, i) <= rank {
+			c++
+		}
+		comb[i-1] = c
+		rank -= Binomial(c, i)
+	}
+	return comb
+}
+
+// RankCombInt64 is RankComb for int64-valued items (the payload type of
+// the parallel experiments); the input need not be sorted.
+func RankCombInt64(comb []int64, n int) int64 {
+	ints := make([]int, len(comb))
+	for i, v := range comb {
+		ints[i] = int(v)
+	}
+	// Insertion sort: combinations in tests are tiny.
+	for i := 1; i < len(ints); i++ {
+		for j := i; j > 0 && ints[j] < ints[j-1]; j-- {
+			ints[j], ints[j-1] = ints[j-1], ints[j]
+		}
+	}
+	return RankComb(ints, n)
+}

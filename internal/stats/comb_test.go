@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialKnown(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10},
+		{10, 3, 120}, {52, 5, 2598960}, {62, 31, 465428353255261088},
+		{5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Fatalf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%40) + 2
+		k := int(k8) % n
+		return Binomial(n, k) == Binomial(n-1, k)+Binomial(n-1, k-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankUnrankCombRoundtrip(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{5, 2}, {8, 3}, {10, 5}, {6, 6}, {7, 1}} {
+		total := Binomial(c.n, c.k)
+		seen := make(map[int64]bool)
+		for r := int64(0); r < total; r++ {
+			comb := UnrankComb(r, c.n, c.k)
+			if len(comb) != c.k {
+				t.Fatalf("UnrankComb(%d,%d,%d) has length %d", r, c.n, c.k, len(comb))
+			}
+			got := RankComb(comb, c.n)
+			if got != r {
+				t.Fatalf("n=%d k=%d: rank(unrank(%d)) = %d", c.n, c.k, r, got)
+			}
+			if seen[got] {
+				t.Fatalf("duplicate rank %d", got)
+			}
+			seen[got] = true
+		}
+	}
+}
+
+func TestRankCombRejectsGarbage(t *testing.T) {
+	for _, bad := range [][]int{{1, 1}, {2, 1}, {0, 9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RankComb(%v) did not panic", bad)
+				}
+			}()
+			RankComb(bad, 5)
+		}()
+	}
+}
+
+func TestRankCombInt64SortsInput(t *testing.T) {
+	a := RankCombInt64([]int64{4, 0, 2}, 6)
+	b := RankCombInt64([]int64{0, 2, 4}, 6)
+	if a != b {
+		t.Fatalf("unsorted input ranked differently: %d vs %d", a, b)
+	}
+}
+
+func TestRankCombEmptySet(t *testing.T) {
+	if RankComb(nil, 5) != 0 {
+		t.Fatal("empty combination should rank 0")
+	}
+	if got := UnrankComb(0, 5, 0); len(got) != 0 {
+		t.Fatal("unrank of the empty combination")
+	}
+}

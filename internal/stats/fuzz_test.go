@@ -1,0 +1,48 @@
+package stats
+
+import "testing"
+
+// FuzzRankUnrankPerm checks the permutation ranking bijection on
+// arbitrary ranks.
+func FuzzRankUnrankPerm(f *testing.F) {
+	f.Add(int64(0), 4)
+	f.Add(int64(719), 6)
+	f.Add(int64(1), 1)
+	f.Fuzz(func(t *testing.T, rank int64, n int) {
+		if n < 1 || n > 9 {
+			return
+		}
+		nf := Factorial(n)
+		if rank < 0 {
+			rank = -rank
+		}
+		rank %= nf
+		perm := UnrankPerm(rank, n)
+		if got := RankPerm(perm); got != rank {
+			t.Fatalf("rank(unrank(%d, %d)) = %d", rank, n, got)
+		}
+	})
+}
+
+// FuzzRankUnrankComb checks the combination ranking bijection.
+func FuzzRankUnrankComb(f *testing.F) {
+	f.Add(int64(0), 5, 2)
+	f.Add(int64(55), 8, 3)
+	f.Fuzz(func(t *testing.T, rank int64, n, k int) {
+		if n < 0 || n > 30 || k < 0 || k > n {
+			return
+		}
+		total := Binomial(n, k)
+		if total == 0 {
+			return
+		}
+		if rank < 0 {
+			rank = -rank
+		}
+		rank %= total
+		comb := UnrankComb(rank, n, k)
+		if got := RankComb(comb, n); got != rank {
+			t.Fatalf("rank(unrank(%d, %d, %d)) = %d", rank, n, k, got)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package stats
+
+import "fmt"
+
+// Factorial returns n! for n <= 20 (the largest factorial fitting int64).
+func Factorial(n int) int64 {
+	if n < 0 || n > 20 {
+		panic(fmt.Sprintf("stats: Factorial(%d) outside int64 range", n))
+	}
+	f := int64(1)
+	for k := 2; k <= n; k++ {
+		f *= int64(k)
+	}
+	return f
+}
+
+// RankPerm returns the Lehmer rank of the permutation in [0, n!): the
+// position of perm in lexicographic order over all permutations of
+// {0..n-1}. Uniformity experiments use the rank as the chi-square cell
+// index, turning "all permutations equally likely" into a testable
+// uniform law on {0..n!-1}. It panics if perm is not a permutation or
+// n > 20.
+func RankPerm(perm []int) int64 {
+	n := len(perm)
+	if n > 20 {
+		panic("stats: RankPerm limited to n <= 20")
+	}
+	seen := make([]bool, n)
+	var rank int64
+	f := Factorial(n)
+	for i, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			panic(fmt.Sprintf("stats: not a permutation at position %d", i))
+		}
+		seen[v] = true
+		f /= int64(n - i)
+		// Count unused values smaller than v.
+		smaller := 0
+		for u := 0; u < v; u++ {
+			if !seen[u] {
+				smaller++
+			}
+		}
+		rank += int64(smaller) * f
+	}
+	return rank
+}
+
+// RankPermInt64 is RankPerm for int64-valued items holding 0..n-1, the
+// payload type of the parallel experiments.
+func RankPermInt64(perm []int64) int64 {
+	p := make([]int, len(perm))
+	for i, v := range perm {
+		p[i] = int(v)
+	}
+	return RankPerm(p)
+}
+
+// UnrankPerm inverts RankPerm: it returns the permutation of {0..n-1}
+// with the given lexicographic rank.
+func UnrankPerm(rank int64, n int) []int {
+	if n > 20 {
+		panic("stats: UnrankPerm limited to n <= 20")
+	}
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	perm := make([]int, 0, n)
+	f := Factorial(n)
+	for i := 0; i < n; i++ {
+		f /= int64(n - i)
+		idx := rank / f
+		rank %= f
+		perm = append(perm, avail[idx])
+		avail = append(avail[:idx], avail[idx+1:]...)
+	}
+	return perm
+}

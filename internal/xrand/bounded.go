@@ -1,0 +1,62 @@
+package xrand
+
+import "math/bits"
+
+// Uint64n returns a uniformly distributed integer in [0, n) drawn from
+// src. It panics if n == 0.
+//
+// The implementation is Lemire's multiply-shift rejection method ("Fast
+// random integer generation in an interval", TOMS 2019): one 64x64->128
+// multiplication in the common case, with a rare rejection loop that makes
+// the result exactly uniform (no modulo bias).
+func Uint64n(src Source, n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	if n&(n-1) == 0 { // power of two: mask is exact and draw-free of bias
+		return src.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(src.Uint64(), n)
+	if lo < n {
+		thresh := -n % n // 2^64 mod n
+		for lo < thresh {
+			hi, lo = bits.Mul64(src.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Int64n returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0.
+func Int64n(src Source, n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int64n with n <= 0")
+	}
+	return int64(Uint64n(src, uint64(n)))
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func Intn(src Source, n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(Uint64n(src, uint64(n)))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1) with 53 bits
+// of precision, the standard "53-bit right shift" construction.
+func Float64(src Source) float64 {
+	return float64(src.Uint64()>>11) * 0x1p-53
+}
+
+// Float64Open returns a uniformly distributed float64 in (0, 1): never 0,
+// never 1. Rejection samplers (internal/hyper) divide and take logarithms
+// of these values, so both endpoints must be excluded.
+func Float64Open(src Source) float64 {
+	for {
+		f := Float64(src)
+		if f != 0 {
+			return f
+		}
+	}
+}

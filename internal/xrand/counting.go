@@ -1,0 +1,37 @@
+package xrand
+
+// Counting wraps a Source and counts the raw 64-bit draws that pass
+// through it. The PRO model of the paper treats random numbers as a
+// resource on a par with time and bandwidth (Theorem 1: O(m) random
+// numbers per processor); experiments E2 and E4 use Counting to verify
+// those bounds empirically.
+//
+// Counting is not safe for concurrent use; wrap one Source per processor.
+type Counting struct {
+	src   Source
+	count uint64
+}
+
+// NewCounting returns a counting wrapper around src with the counter at 0.
+func NewCounting(src Source) *Counting {
+	return &Counting{src: src}
+}
+
+// Uint64 forwards to the wrapped source and increments the counter.
+func (c *Counting) Uint64() uint64 {
+	c.count++
+	return c.src.Uint64()
+}
+
+// Count returns the number of Uint64 calls since construction or the last
+// Reset.
+func (c *Counting) Count() uint64 { return c.count }
+
+// Reset sets the counter back to zero without touching the generator
+// state.
+func (c *Counting) Reset() { c.count = 0 }
+
+// Unwrap returns the underlying source.
+func (c *Counting) Unwrap() Source { return c.src }
+
+var _ Source = (*Counting)(nil)

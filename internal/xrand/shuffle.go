@@ -1,0 +1,26 @@
+package xrand
+
+// Shuffle permutes x uniformly at random in place using the
+// Fisher-Yates/Durstenfeld algorithm: n-1 bounded draws, O(n) time.
+//
+// This is the reference sequential algorithm of the PRO analysis: the
+// parallel Algorithm 1 of the paper must match its total work
+// asymptotically (work-optimality) and uses it as the local permutation
+// step before and after the communication phase.
+func Shuffle[T any](src Source, x []T) {
+	for i := len(x) - 1; i > 0; i-- {
+		j := Intn(src, i+1)
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// Perm returns a uniformly random permutation of {0, ..., n-1} as a slice.
+func Perm(src Source, n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := Intn(src, i+1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

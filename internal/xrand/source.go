@@ -1,0 +1,44 @@
+// Package xrand provides the deterministic pseudo-random substrate used by
+// every algorithm in this repository.
+//
+// The package exists instead of math/rand for three reasons that matter to
+// the reproduction of Gustedt's PRO resource bounds (Theorem 1 of the
+// paper):
+//
+//  1. Random numbers are a *resource* in the PRO model. The Counting
+//     wrapper lets experiments measure exactly how many raw 64-bit draws an
+//     algorithm consumes (experiment E2 reproduces the "less than 1.5
+//     random numbers per hypergeometric sample" claim).
+//  2. Parallel processors need statistically independent streams that are
+//     nevertheless reproducible from one seed. Xoshiro256++ provides a
+//     2^128 jump function; NewStreams derives one disjoint stream per
+//     simulated processor.
+//  3. Determinism: given a seed, every sequential and parallel algorithm in
+//     this repository produces a reproducible result, which the test suite
+//     relies on.
+package xrand
+
+// Source is the minimal interface every generator in this package
+// implements: a stream of independent, uniformly distributed 64-bit words.
+//
+// Implementations in this package are NOT safe for concurrent use; in the
+// parallel algorithms each simulated processor owns a private Source.
+type Source interface {
+	// Uint64 returns the next pseudo-random 64-bit value.
+	Uint64() uint64
+}
+
+// Seeder is implemented by sources whose state can be re-initialized from a
+// single 64-bit seed.
+type Seeder interface {
+	Seed(seed uint64)
+}
+
+// Jumper is implemented by sources that can advance their state by a large,
+// fixed number of steps (at least 2^64), producing non-overlapping
+// subsequences for parallel streams.
+type Jumper interface {
+	// Jump advances the state as if a very large number of Uint64 calls
+	// had been made.
+	Jump()
+}

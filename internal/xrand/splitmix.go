@@ -1,0 +1,35 @@
+package xrand
+
+// SplitMix64 is the 64-bit mixing generator of Steele, Lea and Flood
+// ("Fast splittable pseudorandom number generators", OOPSLA 2014).
+//
+// It is used here in two roles: as the canonical way to expand a single
+// user seed into the larger state of Xoshiro256, and as a minimal,
+// allocation-free generator for tests. Its period is 2^64.
+//
+// The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Seed resets the generator state to seed.
+func (s *SplitMix64) Seed(seed uint64) { s.state = seed }
+
+// Uint64 returns the next value of the sequence.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+var (
+	_ Source = (*SplitMix64)(nil)
+	_ Seeder = (*SplitMix64)(nil)
+)

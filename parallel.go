@@ -1,0 +1,122 @@
+package randperm
+
+import (
+	"fmt"
+
+	"randperm/internal/core"
+	"randperm/internal/pro"
+)
+
+// MatrixAlg selects how the parallel shuffle samples its communication
+// matrix (Problem 2 of the paper).
+type MatrixAlg int
+
+const (
+	// MatrixOpt is the paper's cost-optimal Algorithm 6 (default):
+	// Theta(p) time, communication and random draws per processor.
+	MatrixOpt MatrixAlg = iota
+	// MatrixLog is the paper's Algorithm 5: simpler, but a log p
+	// factor over optimal per processor.
+	MatrixLog
+	// MatrixSeq concentrates the sequential Algorithm 3 at processor 0
+	// and scatters the rows: O(p^2) work at the root.
+	MatrixSeq
+)
+
+func (a MatrixAlg) internal() core.MatrixAlg {
+	switch a {
+	case MatrixLog:
+		return core.MatrixLog
+	case MatrixSeq:
+		return core.MatrixSeq
+	default:
+		return core.MatrixOpt
+	}
+}
+
+// String names the algorithm.
+func (a MatrixAlg) String() string { return a.internal().String() }
+
+// Options configures a parallel shuffle.
+type Options struct {
+	// Procs is the number of simulated processors p (default 8). The
+	// paper's coarseness assumption is p <= sqrt(n).
+	Procs int
+	// Seed drives all randomness; runs are reproducible in it.
+	Seed uint64
+	// Matrix selects the matrix sampling algorithm (default MatrixOpt).
+	Matrix MatrixAlg
+}
+
+func (o Options) withDefaults() Options {
+	if o.Procs == 0 {
+		o.Procs = 8
+	}
+	return o
+}
+
+// Report summarizes the resources one parallel run consumed, the
+// quantities bounded by Theorem 1 of the paper.
+type Report struct {
+	Procs      int   // machine size p
+	Supersteps int   // number of BSP supersteps
+	MaxOps     int64 // max per-processor local operations (balance)
+	TotalOps   int64 // summed operations (work-optimality)
+	MaxBytes   int64 // max per-processor communication volume
+	MaxDraws   int64 // max per-processor raw random draws
+	TotalDraws int64 // summed raw random draws
+}
+
+func reportFrom(m *pro.Machine) Report {
+	r := m.Report()
+	return Report{
+		Procs:      r.P,
+		Supersteps: r.Supersteps,
+		MaxOps:     r.MaxOps(),
+		TotalOps:   r.TotalOps(),
+		MaxBytes:   r.MaxBytes(),
+		MaxDraws:   r.MaxDraws(),
+		TotalDraws: r.TotalDraws(),
+	}
+}
+
+// ParallelShuffle returns a uniformly shuffled copy of data, computed by
+// the paper's Algorithm 1 on opt.Procs simulated processors, together
+// with the resource report. The input is not modified.
+func ParallelShuffle[T any](data []T, opt Options) ([]T, Report, error) {
+	opt = opt.withDefaults()
+	if opt.Procs < 1 {
+		return nil, Report{}, fmt.Errorf("randperm: Procs must be positive, got %d", opt.Procs)
+	}
+	out, m, err := core.PermuteSlice(data, opt.Procs, core.Config{
+		Seed:   opt.Seed,
+		Matrix: opt.Matrix.internal(),
+	})
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return out, reportFrom(m), nil
+}
+
+// ParallelShuffleBlocks is the general form of Problem 1: the input
+// arrives as one block per processor and the output is redistributed
+// into blocks of the given target sizes (which must total the same
+// number of items). Every global permutation of the items is equally
+// likely.
+func ParallelShuffleBlocks[T any](blocks [][]T, targetSizes []int64, opt Options) ([][]T, Report, error) {
+	opt = opt.withDefaults()
+	out, m, err := core.Permute(blocks, targetSizes, core.Config{
+		Seed:   opt.Seed,
+		Matrix: opt.Matrix.internal(),
+	})
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return out, reportFrom(m), nil
+}
+
+// EvenBlocks returns n split into p block sizes as evenly as possible,
+// the layout the paper's symmetric algorithms assume.
+func EvenBlocks(n int64, p int) []int64 {
+	return core.EvenBlocks(n, p)
+}

@@ -1,0 +1,87 @@
+package randperm
+
+import (
+	"randperm/internal/commat"
+	"randperm/internal/hyper"
+	"randperm/internal/mhyper"
+	"randperm/internal/seqperm"
+	"randperm/internal/xrand"
+)
+
+// Source is a stream of uniform 64-bit random words, the randomness
+// interface of every function in this package. NewSource returns the
+// package's default generator; any user implementation (e.g. wrapping
+// crypto/rand) can be substituted.
+type Source interface {
+	Uint64() uint64
+}
+
+// NewSource returns the package's default deterministic generator
+// (xoshiro256++ seeded via SplitMix64). Distinct seeds give statistically
+// independent streams.
+func NewSource(seed uint64) Source {
+	return xrand.NewXoshiro256(seed)
+}
+
+// Shuffle permutes x uniformly at random in place (Fisher-Yates): the
+// sequential reference algorithm of the paper, O(n) time and n-1 bounded
+// random draws.
+func Shuffle[T any](src Source, x []T) {
+	xrand.Shuffle(src, x)
+}
+
+// Perm returns a uniformly random permutation of {0..n-1}.
+func Perm(src Source, n int) []int {
+	return xrand.Perm(src, n)
+}
+
+// BlockShuffle permutes x uniformly in place with the cache-friendly
+// two-pass variant from the paper's outlook (Section 6): the data is cut
+// into chunks, an exact communication matrix is sampled, chunks are
+// scattered with streaming writes and the buckets are shuffled
+// recursively. Same distribution as Shuffle, different memory access
+// pattern (experiment E8).
+func BlockShuffle[T any](src Source, x []T) {
+	seqperm.BlockShuffle(src, x, seqperm.BlockShuffleOptions{})
+}
+
+// Hypergeometric draws the number of white balls obtained when t balls
+// are drawn without replacement from an urn of w white and b black balls.
+// The sampler is exact and consumes O(1) raw random draws in expectation
+// (Section 3 of the paper; experiment E2).
+func Hypergeometric(src Source, t, w, b int64) int64 {
+	return hyper.Sample(src, t, w, b)
+}
+
+// MultivariateHypergeometric draws the per-class counts of t balls drawn
+// without replacement from classes of the given sizes (the paper's
+// Algorithm 2). The result sums to t with 0 <= r[i] <= classes[i].
+func MultivariateHypergeometric(src Source, t int64, classes []int64) []int64 {
+	return mhyper.Sample(src, t, classes)
+}
+
+// CommMatrix samples a communication matrix with the given row sums
+// (source block sizes) and column sums (target block sizes) from the
+// exact distribution induced by a uniform random permutation (the
+// paper's Algorithm 3, Problem 2). Entry [i][j] is the number of items
+// block i sends to target block j.
+func CommMatrix(src Source, rowSizes, colSizes []int64) [][]int64 {
+	m := commat.SampleSeq(src, rowSizes, colSizes)
+	out := make([][]int64, m.Rows())
+	for i := range out {
+		out[i] = append([]int64(nil), m.Row(i)...)
+	}
+	return out
+}
+
+// CommMatrixLogProb returns the natural log of the exact probability
+// that a uniform random permutation induces the given communication
+// matrix, or -Inf if the matrix violates the margins. Useful for
+// goodness-of-fit testing of alternative samplers.
+func CommMatrixLogProb(a [][]int64, rowSizes, colSizes []int64) float64 {
+	m := commat.New(len(a), len(colSizes))
+	for i, row := range a {
+		copy(m.Row(i), row)
+	}
+	return commat.LogProb(m, rowSizes, colSizes)
+}

@@ -1,0 +1,237 @@
+package randperm_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"randperm"
+)
+
+func TestNewSourceDeterministic(t *testing.T) {
+	a, b := randperm.NewSource(5), randperm.NewSource(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	src := randperm.NewSource(1)
+	x := make([]int, 1000)
+	for i := range x {
+		x[i] = i
+	}
+	randperm.Shuffle(src, x)
+	seen := make([]bool, 1000)
+	for _, v := range x {
+		if seen[v] {
+			t.Fatal("duplicate after shuffle")
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermValid(t *testing.T) {
+	src := randperm.NewSource(2)
+	p := randperm.Perm(src, 50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBlockShuffleIsPermutation(t *testing.T) {
+	src := randperm.NewSource(3)
+	x := make([]int64, 100000)
+	for i := range x {
+		x[i] = int64(i)
+	}
+	randperm.BlockShuffle(src, x)
+	seen := make([]bool, len(x))
+	for _, v := range x {
+		if seen[v] {
+			t.Fatal("duplicate after block shuffle")
+		}
+		seen[v] = true
+	}
+}
+
+func TestHypergeometricMoments(t *testing.T) {
+	src := randperm.NewSource(4)
+	const trials = 20000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		k := randperm.Hypergeometric(src, 100, 400, 600)
+		if k < 0 || k > 100 {
+			t.Fatalf("sample %d out of range", k)
+		}
+		sum += float64(k)
+	}
+	mean := sum / trials
+	if math.Abs(mean-40) > 1 {
+		t.Fatalf("mean %.2f, want 40", mean)
+	}
+}
+
+func TestMultivariateHypergeometricSums(t *testing.T) {
+	src := randperm.NewSource(5)
+	classes := []int64{10, 20, 30}
+	f := func(t8 uint8) bool {
+		tt := int64(t8) % 61
+		out := randperm.MultivariateHypergeometric(src, tt, classes)
+		var total int64
+		for i, v := range out {
+			if v < 0 || v > classes[i] {
+				return false
+			}
+			total += v
+		}
+		return total == tt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommMatrixMargins(t *testing.T) {
+	src := randperm.NewSource(6)
+	rows := []int64{5, 7, 3}
+	cols := []int64{4, 4, 7}
+	a := randperm.CommMatrix(src, rows, cols)
+	for i, row := range a {
+		var s int64
+		for _, v := range row {
+			if v < 0 {
+				t.Fatal("negative entry")
+			}
+			s += v
+		}
+		if s != rows[i] {
+			t.Fatalf("row %d sums to %d", i, s)
+		}
+	}
+	for j := range cols {
+		var s int64
+		for i := range rows {
+			s += a[i][j]
+		}
+		if s != cols[j] {
+			t.Fatalf("col %d sums to %d", j, s)
+		}
+	}
+}
+
+func TestCommMatrixLogProb(t *testing.T) {
+	rows := []int64{2, 2}
+	cols := []int64{2, 2}
+	// All three tables with these margins: a00 in {0,1,2} with
+	// probabilities 1/6, 4/6, 1/6.
+	p := math.Exp(randperm.CommMatrixLogProb([][]int64{{1, 1}, {1, 1}}, rows, cols))
+	if math.Abs(p-4.0/6) > 1e-9 {
+		t.Fatalf("P(balanced table) = %g, want 2/3", p)
+	}
+	bad := randperm.CommMatrixLogProb([][]int64{{2, 1}, {0, 1}}, rows, cols)
+	if !math.IsInf(bad, -1) {
+		t.Fatal("invalid table should have log-probability -inf")
+	}
+}
+
+func TestParallelShuffleAllAlgs(t *testing.T) {
+	data := make([]int64, 5000)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	for _, alg := range []randperm.MatrixAlg{randperm.MatrixOpt, randperm.MatrixLog, randperm.MatrixSeq} {
+		out, rep, err := randperm.ParallelShuffle(data, randperm.Options{
+			Procs: 6, Seed: 9, Matrix: alg,
+		})
+		if err != nil {
+			t.Fatalf("alg=%v: %v", alg, err)
+		}
+		if rep.Procs != 6 || rep.Supersteps == 0 {
+			t.Fatalf("alg=%v: report %+v", alg, rep)
+		}
+		seen := make([]bool, len(data))
+		for _, v := range out {
+			if seen[v] {
+				t.Fatalf("alg=%v: duplicate", alg)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestParallelShuffleDefaults(t *testing.T) {
+	out, rep, err := randperm.ParallelShuffle([]int{1, 2, 3, 4, 5, 6, 7, 8, 9}, randperm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Procs != 8 {
+		t.Fatalf("default procs = %d, want 8", rep.Procs)
+	}
+	if len(out) != 9 {
+		t.Fatal("length changed")
+	}
+}
+
+func TestParallelShuffleBlocks(t *testing.T) {
+	blocks := [][]string{{"a", "b", "c"}, {"d"}, {"e", "f"}}
+	target := []int64{2, 2, 2}
+	out, _, err := randperm.ParallelShuffleBlocks(blocks, target, randperm.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for i, b := range out {
+		if int64(len(b)) != target[i] {
+			t.Fatalf("block %d has %d items", i, len(b))
+		}
+		for _, v := range b {
+			if got[v] {
+				t.Fatalf("duplicate %q", v)
+			}
+			got[v] = true
+		}
+	}
+	if len(got) != 6 {
+		t.Fatalf("%d distinct items", len(got))
+	}
+}
+
+func TestParallelShuffleBlocksBadSizes(t *testing.T) {
+	if _, _, err := randperm.ParallelShuffleBlocks(
+		[][]int{{1, 2}}, []int64{3}, randperm.Options{}); err == nil {
+		t.Fatal("mismatched totals accepted")
+	}
+}
+
+func TestEvenBlocks(t *testing.T) {
+	sizes := randperm.EvenBlocks(10, 3)
+	if len(sizes) != 3 || sizes[0]+sizes[1]+sizes[2] != 10 {
+		t.Fatalf("EvenBlocks = %v", sizes)
+	}
+}
+
+func TestMatrixAlgString(t *testing.T) {
+	if randperm.MatrixOpt.String() != "opt" ||
+		randperm.MatrixLog.String() != "log" ||
+		randperm.MatrixSeq.String() != "seq" {
+		t.Fatal("MatrixAlg names wrong")
+	}
+}
+
+func TestParallelShuffleReproducible(t *testing.T) {
+	data := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	a, _, _ := randperm.ParallelShuffle(data, randperm.Options{Procs: 4, Seed: 42})
+	b, _, _ := randperm.ParallelShuffle(data, randperm.Options{Procs: 4, Seed: 42})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same options diverged")
+		}
+	}
+}

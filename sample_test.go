@@ -1,0 +1,63 @@
+package randperm_test
+
+import (
+	"testing"
+
+	"randperm"
+)
+
+func TestParallelSample(t *testing.T) {
+	data := make([]int64, 10000)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	sample, rep, err := randperm.ParallelSample(data, 500, randperm.Options{
+		Procs: 8, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 500 {
+		t.Fatalf("sample size %d", len(sample))
+	}
+	seen := make(map[int64]bool)
+	for _, v := range sample {
+		if v < 0 || v >= 10000 || seen[v] {
+			t.Fatalf("invalid sample element %d", v)
+		}
+		seen[v] = true
+	}
+	if rep.Procs != 8 {
+		t.Fatalf("report procs %d", rep.Procs)
+	}
+}
+
+func TestParallelSampleEdgeSizes(t *testing.T) {
+	data := []string{"a", "b", "c"}
+	for _, k := range []int64{0, 3} {
+		sample, _, err := randperm.ParallelSample(data, k, randperm.Options{Seed: 5})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if int64(len(sample)) != k {
+			t.Fatalf("k=%d: got %d", k, len(sample))
+		}
+	}
+	if _, _, err := randperm.ParallelSample(data, 4, randperm.Options{}); err == nil {
+		t.Fatal("k > n accepted")
+	}
+}
+
+func TestParallelSampleReproducible(t *testing.T) {
+	data := make([]int, 1000)
+	for i := range data {
+		data[i] = i
+	}
+	a, _, _ := randperm.ParallelSample(data, 100, randperm.Options{Procs: 4, Seed: 6})
+	b, _, _ := randperm.ParallelSample(data, 100, randperm.Options{Procs: 4, Seed: 6})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
