@@ -87,6 +87,32 @@ func BenchmarkE3Scaling(b *testing.B) {
 	}
 }
 
+// BenchmarkBackends races the two execution backends on the same
+// workload (the acceptance workload of the backend refactor: n=2^20,
+// p=8). The Sim backend pays for mailboxes, `any` boxing and draw
+// accounting; SharedMem scatters through precomputed disjoint offsets.
+func BenchmarkBackends(b *testing.B) {
+	const n = 1 << 20
+	const p = 8
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	for _, backend := range []randperm.Backend{randperm.BackendSim, randperm.BackendSharedMem} {
+		b.Run(backend.String(), func(b *testing.B) {
+			b.SetBytes(8 * n)
+			for i := 0; i < b.N; i++ {
+				_, _, err := randperm.ParallelShuffle(data, randperm.Options{
+					Procs: p, Seed: uint64(i), Backend: backend,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE4Matrix covers Theorem 2: the three matrix sampling
 // strategies across machine sizes.
 func BenchmarkE4Matrix(b *testing.B) {

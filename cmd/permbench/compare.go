@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"randperm"
+)
+
+// backendResult is one row of the backend comparison, shaped for the
+// -json output so successive PRs can track the perf trajectory in
+// BENCH_*.json files.
+type backendResult struct {
+	Backend   string  `json:"backend"`
+	N         int64   `json:"n"`
+	Procs     int     `json:"procs"`
+	Workers   int     `json:"workers"`
+	Trials    int     `json:"trials"`
+	BestNs    int64   `json:"best_ns"`
+	NsPerItem float64 `json:"ns_per_item"`
+	ItemsPerS float64 `json:"items_per_sec"`
+}
+
+type compareReport struct {
+	N          int64           `json:"n"`
+	Procs      int             `json:"procs"`
+	Workers    int             `json:"workers"`
+	Trials     int             `json:"trials"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Results    []backendResult `json:"results"`
+	Speedup    float64         `json:"speedup_shmem_vs_sim,omitempty"`
+}
+
+// runCompare times the execution backends side by side on the same
+// workload and prints a table (or JSON with -json). The per-backend
+// figure is the best of `trials` runs, the conventional way to strip
+// scheduler noise from a throughput measurement.
+func runCompare(n int64, p, workers, trials int, which string, seed uint64, asJSON bool) error {
+	if n <= 0 {
+		n = 1 << 20
+	}
+	if trials <= 0 {
+		trials = 5
+	}
+	var backends []randperm.Backend
+	switch which {
+	case "", "both", "all":
+		backends = []randperm.Backend{randperm.BackendSim, randperm.BackendSharedMem}
+	default:
+		b, err := randperm.ParseBackend(which)
+		if err != nil {
+			return err
+		}
+		backends = []randperm.Backend{b}
+	}
+
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+
+	rep := compareReport{
+		N: n, Procs: p, Workers: workers, Trials: trials,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	byName := map[string]backendResult{}
+	for _, b := range backends {
+		best := time.Duration(1<<63 - 1)
+		for t := 0; t < trials; t++ {
+			start := time.Now()
+			_, _, err := randperm.ParallelShuffle(data, randperm.Options{
+				Procs:       p,
+				Seed:        seed + uint64(t),
+				Backend:     b,
+				Parallelism: workers,
+			})
+			if err != nil {
+				return fmt.Errorf("%s: %w", b, err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		r := backendResult{
+			Backend:   b.String(),
+			N:         n,
+			Procs:     p,
+			Workers:   workers,
+			Trials:    trials,
+			BestNs:    best.Nanoseconds(),
+			NsPerItem: float64(best.Nanoseconds()) / float64(n),
+			ItemsPerS: float64(n) / best.Seconds(),
+		}
+		rep.Results = append(rep.Results, r)
+		byName[r.Backend] = r
+	}
+	if sim, ok := byName["sim"]; ok {
+		if shm, ok := byName["shmem"]; ok && shm.BestNs > 0 {
+			rep.Speedup = float64(sim.BestNs) / float64(shm.BestNs)
+		}
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+
+	fmt.Printf("Backend comparison: n=%d p=%d workers=%d trials=%d (best of)\n",
+		n, p, workers, trials)
+	fmt.Printf("%-8s %12s %12s %14s\n", "backend", "ms/run", "ns/item", "items/s")
+	for _, r := range rep.Results {
+		fmt.Printf("%-8s %12.2f %12.2f %14.3e\n",
+			r.Backend, float64(r.BestNs)/1e6, r.NsPerItem, r.ItemsPerS)
+	}
+	if rep.Speedup > 0 {
+		fmt.Printf("shmem speedup over sim: %.2fx\n", rep.Speedup)
+	}
+	return nil
+}

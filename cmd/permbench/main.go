@@ -10,6 +10,14 @@
 //	permbench -exp E3 -n 480000000  # the paper's original size
 //	permbench -list               # catalogue with the claims reproduced
 //	permbench -exp E5 -csv        # machine-readable output
+//
+// Beyond the paper's experiments, -compare races the execution backends
+// (the simulated PRO machine vs. the shared-memory scatter engine) on
+// one workload:
+//
+//	permbench -compare -n 1000000 -p 8          # side-by-side table
+//	permbench -compare -json > BENCH_backends.json  # ns/item per backend
+//	permbench -compare -backend shmem -workers 4    # one backend only
 package main
 
 import (
@@ -34,8 +42,22 @@ func main() {
 		ghz    = flag.Float64("ghz", 0, "CPU clock in GHz for cycle estimates (0 = default 3.0)")
 		prof   = flag.Bool("profile", false, "print the BSP superstep profile of one Algorithm 1 run and exit")
 		profP  = flag.Int("profile-p", 8, "machine size for -profile")
+
+		cmp      = flag.Bool("compare", false, "time the execution backends side by side and exit")
+		cmpP     = flag.Int("p", 8, "decomposition width for -compare")
+		workers  = flag.Int("workers", 0, "SharedMem worker cap for -compare (0 = GOMAXPROCS)")
+		backends = flag.String("backend", "both", "backends for -compare: sim, shmem or both")
+		jsonOut  = flag.Bool("json", false, "with -compare, emit machine-readable JSON")
 	)
 	flag.Parse()
+
+	if *cmp {
+		if err := runCompare(*n, *cmpP, *workers, *trials, *backends, *seed+1, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range harness.Experiments {

@@ -24,13 +24,19 @@
 //   - Exact distribution sampling: Hypergeometric, MultivariateHypergeometric,
 //     CommMatrix with its exact probability CommMatrixLogProb.
 //   - Parallel shuffling: ParallelShuffle and ParallelShuffleBlocks run
-//     the paper's Algorithm 1 on a machine of goroutine "processors",
-//     with the communication matrix sampled by Algorithm 3 at the root
+//     the paper's Algorithm 1 on one of two interchangeable backends
+//     (Options.Backend). BackendSim, the default, simulates the coarse
+//     grained machine with goroutine "processors", with the
+//     communication matrix sampled by Algorithm 3 at the root
 //     (MatrixSeq), Algorithm 5 (MatrixLog, Theta(p log p) per processor)
 //     or the cost-optimal Algorithm 6 (MatrixOpt, Theta(p) per
-//     processor). A Report of per-processor work, communication volume
+//     processor); a Report of per-processor work, communication volume
 //     and random draws accompanies every run, making the paper's
-//     resource bounds observable.
+//     resource bounds observable. BackendSharedMem executes the same
+//     four phases directly on shared memory - the matrix sampled once,
+//     its prefix sums turned into disjoint write offsets, items
+//     scattered straight into the output - trading the accounting for
+//     raw speed.
 //
 // All randomness flows from a single seed through per-processor
 // jump-separated xoshiro256++ streams, so every result in this package is

@@ -1,0 +1,3 @@
+module randperm
+
+go 1.24

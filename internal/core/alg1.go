@@ -1,6 +1,7 @@
 package core
 
 import (
+	"randperm/internal/engine"
 	"randperm/internal/pro"
 	"randperm/internal/xrand"
 )
@@ -25,15 +26,18 @@ type Config struct {
 func Permute[T any](in [][]T, outSizes []int64, cfg Config) ([][]T, *pro.Machine, error) {
 	p := len(in)
 	m := pro.NewMachine(p)
-	out, err := PermuteOn(m, in, outSizes, cfg)
+	out, err := PermuteOn(m.Engine(), in, outSizes, cfg)
 	return out, m, err
 }
 
-// PermuteOn is Permute on a caller-provided machine, so repeated
-// shuffles can accumulate cost accounting or reuse warm state. The
-// machine must have exactly len(in) processors.
-func PermuteOn[T any](m *pro.Machine, in [][]T, outSizes []int64, cfg Config) ([][]T, error) {
-	p := m.P()
+// PermuteOn is Permute on a caller-provided engine, so the algorithm is
+// written once against the engine.Worker interface and runs on any SPMD
+// backend: the simulated machine (pro.(*Machine).Engine(), which keeps
+// the cost accounting and can accumulate it across repeated shuffles) or
+// any other implementation. The engine must have exactly len(in)
+// workers.
+func PermuteOn[T any](eng engine.Engine, in [][]T, outSizes []int64, cfg Config) ([][]T, error) {
+	p := eng.P()
 	rowM := BlockSizes(in)
 	if err := checkPermuteArgs(p, rowM, outSizes); err != nil {
 		return nil, err
@@ -41,7 +45,7 @@ func PermuteOn[T any](m *pro.Machine, in [][]T, outSizes []int64, cfg Config) ([
 	streams := xrand.NewStreams(cfg.Seed, p)
 	out := make([][]T, p)
 
-	err := m.Run(func(pr *pro.Proc) {
+	err := eng.Run(func(pr engine.Worker) {
 		rank := pr.Rank()
 		cnt := xrand.NewCounting(streams[rank])
 		charge := func() {

@@ -1,0 +1,107 @@
+// Package engine defines the execution-backend abstraction behind the
+// parallel API: the four phases of the paper's Algorithm 1 (local
+// shuffle, communication-matrix sample, data exchange, local shuffle)
+// can run on either of two interchangeable backends.
+//
+//   - Sim is the simulated PRO machine of internal/pro: one goroutine
+//     per processor, message passing through mailboxes, and full
+//     superstep/byte/draw accounting, so the paper's Theta-bounds stay
+//     observable. The message-passing formulation of Algorithm 1
+//     (core.PermuteOn) is written once against the Engine and Worker
+//     interfaces below; *pro.Proc implements Worker and
+//     pro.(*Machine).Engine() adapts a machine.
+//
+//   - SharedMem, implemented in this package, executes the same four
+//     phases with no mailboxes at all: per-block jump-separated RNG
+//     streams, a communication matrix sampled once, its prefix sums
+//     turned into disjoint write offsets, and workers scattering items
+//     straight into the shared output slice followed by parallel local
+//     shuffles. The offset ranges partition the output, so the scatter
+//     is data-race-free by construction. When the output layout is
+//     prescribed (PermuteBlocks) the matrix comes from the exact
+//     fixed-margin distribution of Algorithm 3; when it is free
+//     (PermuteSlice) the margins are free too, the matrix degenerates to
+//     i.i.d. bucket labels, and the engine picks cache-sized buckets
+//     (flatscatter.go).
+//
+// Both backends produce exactly uniform permutations; they differ only
+// in how data moves and what gets accounted.
+package engine
+
+import "fmt"
+
+// Worker is the per-processor view of an Engine inside an SPMD body: the
+// method set Algorithm 1 and the matrix sampling algorithms need. It is
+// the interface extracted from *pro.Proc, which remains the canonical
+// message-passing implementation.
+//
+// A Worker is only valid inside the body passed to Engine.Run and must
+// not be shared with other goroutines.
+type Worker interface {
+	// Rank returns this worker's id in [0, P).
+	Rank() int
+	// P returns the number of workers.
+	P() int
+	// Barrier synchronizes all workers (and, on accounting backends,
+	// starts a new superstep). Every worker must call Barrier the same
+	// number of times.
+	Barrier()
+	// Send transmits payload to worker `to`; self-sends are allowed.
+	Send(to int, payload any)
+	// Recv blocks until a message from worker `from` is available and
+	// returns its payload. Messages from one source arrive in send
+	// order.
+	Recv(from int) any
+	// RecvAny blocks until any message is available and returns its
+	// source and payload.
+	RecvAny() (from int, payload any)
+	// AddOps charges n local operations to the cost accounting.
+	// Backends without accounting discard the charge.
+	AddOps(n int64)
+	// AddDraws charges n raw random draws to the cost accounting.
+	AddDraws(n int64)
+}
+
+// Engine runs SPMD bodies over a fixed set of workers. The simulated PRO
+// machine is the canonical implementation (pro.(*Machine).Engine()).
+type Engine interface {
+	// P returns the number of workers an SPMD body will run on.
+	P() int
+	// Run executes body once per worker, each concurrently, and blocks
+	// until all return. A panic in any worker is captured and returned
+	// as an error annotated with the worker's rank.
+	Run(body func(Worker)) error
+}
+
+// Backend names an execution backend for flags and dispatch.
+type Backend int
+
+const (
+	// Sim is the simulated PRO machine with full cost accounting.
+	Sim Backend = iota
+	// SharedMem is the zero-mailbox shared-memory scatter engine.
+	SharedMem
+)
+
+// String names the backend for tables and flags.
+func (b Backend) String() string {
+	switch b {
+	case Sim:
+		return "sim"
+	case SharedMem:
+		return "shmem"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend converts a flag value into a Backend.
+func ParseBackend(s string) (Backend, bool) {
+	switch s {
+	case "sim":
+		return Sim, true
+	case "shmem", "sharedmem", "shared-mem":
+		return SharedMem, true
+	}
+	return 0, false
+}

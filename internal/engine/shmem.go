@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"randperm/internal/commat"
+	"randperm/internal/xrand"
+)
+
+// Options configures the shared-memory backend.
+type Options struct {
+	// Workers caps the OS-level concurrency; <= 0 means GOMAXPROCS.
+	// The permutation distribution and the exact output are independent
+	// of Workers: randomness is bound to blocks, not to workers.
+	Workers int
+	// Seed drives all randomness; every block derives its own
+	// jump-separated stream from it, so results are reproducible.
+	Seed uint64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PermuteBlocks permutes block-distributed items into target blocks of
+// the given sizes so that every global permutation is equally likely -
+// the same decomposition as the paper's Algorithm 1, executed directly
+// on shared memory:
+//
+//  1. the communication matrix is sampled once from its exact
+//     distribution (Algorithm 3, O(p*p') work - negligible against n
+//     under the paper's coarseness assumption p <= sqrt(n)), and its
+//     column-wise prefix sums become write offsets that partition the
+//     output slice into one disjoint range per (source, target) pair;
+//  2. workers scatter the items of each source block straight into
+//     those ranges (routeBlock, one pass, data-race-free by
+//     construction since the ranges never overlap);
+//  3. every target block of the output is shuffled in place with its
+//     own RNG stream, in parallel.
+//
+// The input blocks are not modified. The returned blocks alias one
+// freshly allocated backing slice. The result is deterministic in
+// (Seed, block layout) and independent of Options.Workers.
+func PermuteBlocks[T any](in [][]T, outSizes []int64, opt Options) ([][]T, error) {
+	_, out, err := permute(in, outSizes, opt)
+	return out, err
+}
+
+// defaultChunks is the label-chunk count PermuteSlice falls back to: a
+// fixed value (not GOMAXPROCS) so the fallback stays deterministic
+// across machines and worker settings, with enough chunks to feed any
+// reasonable core count.
+const defaultChunks = 16
+
+// PermuteSlice is the flat form: with no prescribed output layout the
+// exact fixed-margin matrix of PermuteBlocks degenerates to free
+// multinomial margins, so the engine runs the k-way scatter shuffle of
+// flatscatter.go with cache-sized buckets instead. `chunks` (<= 0 means
+// defaultChunks) sets the label-generation decomposition, the analog of
+// the source-block count: the result is deterministic in (Seed, chunks,
+// len(data)) and independent of Options.Workers. The input is not
+// modified; a freshly allocated slice is returned.
+func PermuteSlice[T any](data []T, chunks int, opt Options) ([]T, error) {
+	if chunks <= 0 {
+		chunks = defaultChunks
+	}
+	return permuteFlat(data, chunks, opt, fyCutoff, maxBuckets)
+}
+
+// permute is the shared implementation: it returns both the flat backing
+// slice and its partition into target blocks.
+func permute[T any](in [][]T, outSizes []int64, opt Options) ([]T, [][]T, error) {
+	p, pp := len(in), len(outSizes)
+	if p == 0 {
+		return nil, nil, fmt.Errorf("engine: need at least one input block")
+	}
+	rowM := make([]int64, p)
+	var n int64
+	for i, b := range in {
+		rowM[i] = int64(len(b))
+		n += rowM[i]
+	}
+	var outN int64
+	for _, s := range outSizes {
+		if s < 0 {
+			return nil, nil, fmt.Errorf("engine: negative target block size %d", s)
+		}
+		outN += s
+	}
+	if n != outN {
+		return nil, nil, fmt.Errorf("engine: source total %d != target total %d", n, outN)
+	}
+
+	// Stream 0 samples the matrix; streams 1..p route the source
+	// blocks, streams p+1..p+pp shuffle the target blocks. Binding
+	// streams to blocks (not workers) makes the output independent of
+	// the worker schedule.
+	streams := xrand.NewStreams(opt.Seed, 1+p+pp)
+	workers := opt.workers()
+
+	// Phase 1: one exact communication-matrix sample plus the prefix
+	// sums that turn it into disjoint scatter ranges. The range
+	// [starts[i][j], starts[i][j]+a[i][j]) is owned exclusively by
+	// source i, so phase 2's writes never overlap.
+	a := commat.SampleSeq(streams[0], rowM, outSizes)
+	colOff := make([]int64, pp)
+	var run int64
+	for j, s := range outSizes {
+		colOff[j] = run
+		run += s
+	}
+	starts := scatterStarts(a, colOff)
+
+	// Phase 2: scatter every source block straight into the output
+	// (the paper's phases 1 and 3 fused into a single pass, see
+	// routeBlock).
+	flat := make([]T, n)
+	if err := parallelFor(workers, p, func(i int) {
+		routeBlock(streams[1+i], in[i], a.Row(i), starts[i], flat)
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 3: uniform local permutation of each target block, mixing
+	// the contributions of all sources (the paper's phase 4).
+	out := make([][]T, pp)
+	if err := parallelFor(workers, pp, func(j int) {
+		blk := flat[colOff[j] : colOff[j]+outSizes[j] : colOff[j]+outSizes[j]]
+		shuffleX(streams[1+p+j], blk)
+		out[j] = blk
+	}); err != nil {
+		return nil, nil, err
+	}
+	return flat, out, nil
+}
+
+// routeBlock scatters the items of one source block into its disjoint
+// target ranges of the shared output. A uniformly random arrangement of
+// the label multiset {j repeated row[j] times} decides which target each
+// consecutive item goes to: conditioned on the matrix row, every way of
+// choosing which items land in which target is then equally likely - the
+// same law as Algorithm 1's "shuffle the block uniformly, then send
+// consecutive segments", but with a cheap Fisher-Yates on the compact
+// label array instead of moving the items twice. The item order within a
+// target range preserves source order; the subsequent shuffle of the
+// whole target block makes that irrelevant.
+func routeBlock[T any](rng *xrand.Xoshiro256, src []T, row, starts []int64, flat []T) {
+	if len(src) == 0 {
+		return
+	}
+	labels := make([]int32, len(src))
+	t := 0
+	for j, c := range row {
+		for x := int64(0); x < c; x++ {
+			labels[t] = int32(j)
+			t++
+		}
+	}
+	shuffleX(rng, labels)
+	fill := append([]int64(nil), starts...)
+	for i, v := range src {
+		j := labels[i]
+		flat[fill[j]] = v
+		fill[j]++
+	}
+}
+
+// shuffleX is xrand.Shuffle on the concrete generator with the Lemire
+// bounded draw (see xrand.Uint64n) open-coded in the loop: in the
+// scatter engine's hot path the per-item draw is worth keeping free of
+// call and special-case overhead.
+func shuffleX[T any](rng *xrand.Xoshiro256, x []T) {
+	for i := len(x) - 1; i > 0; i-- {
+		bound := uint64(i + 1)
+		hi, lo := bits.Mul64(rng.Uint64(), bound)
+		if lo < bound {
+			thresh := -bound % bound
+			for lo < thresh {
+				hi, lo = bits.Mul64(rng.Uint64(), bound)
+			}
+		}
+		x[i], x[int(hi)] = x[int(hi)], x[i]
+	}
+}
+
+// scatterStarts converts the communication matrix into absolute write
+// offsets: starts[i][j] is where source i's items for target j begin in
+// the flat output. Within target j's range (beginning at colOff[j]) the
+// sources are laid out in rank order, so the per-(i,j) ranges partition
+// the output slice.
+func scatterStarts(a *commat.Matrix, colOff []int64) [][]int64 {
+	fill := append([]int64(nil), colOff...)
+	starts := make([][]int64, a.Rows())
+	for i := range starts {
+		row := a.Row(i)
+		st := make([]int64, len(row))
+		for j, v := range row {
+			st[j] = fill[j]
+			fill[j] += v
+		}
+		starts[i] = st
+	}
+	return starts
+}
+
+// evenBlocks splits n items into p sizes as evenly as possible, the same
+// layout as core.EvenBlocks (which this package cannot import).
+func evenBlocks(n int64, p int) []int64 {
+	sizes := make([]int64, p)
+	base, rem := n/int64(p), n%int64(p)
+	for i := range sizes {
+		sizes[i] = base
+		if int64(i) < rem {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// parallelFor runs fn(0) .. fn(n-1) on up to `workers` goroutines and
+// blocks until every call returns. A panic in any call is captured and
+// returned as an error (the first one recorded wins), mirroring the
+// contract of pro.Machine.Run; remaining tasks still run to completion.
+func parallelFor(workers, n int, fn func(int)) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := protect(fn, i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := protect(fn, i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+func protect(fn func(int), i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: task %d panicked: %v", i, r)
+		}
+	}()
+	fn(i)
+	return nil
+}

@@ -1,0 +1,20 @@
+package pro
+
+import "randperm/internal/engine"
+
+// *Proc is the canonical implementation of the engine.Worker interface;
+// the compile-time check keeps the two method sets in lockstep.
+var _ engine.Worker = (*Proc)(nil)
+
+// Engine adapts the machine to the engine.Engine interface, the seam
+// that lets SPMD algorithms (core.PermuteOn, the matrix samplers) be
+// written once and run on the simulated machine or any other backend.
+func (m *Machine) Engine() engine.Engine { return simEngine{m} }
+
+type simEngine struct{ m *Machine }
+
+func (e simEngine) P() int { return e.m.P() }
+
+func (e simEngine) Run(body func(engine.Worker)) error {
+	return e.m.Run(func(pr *Proc) { body(pr) })
+}

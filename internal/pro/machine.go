@@ -108,15 +108,23 @@ func (m *Machine) Run(body func(*Proc)) error {
 	for _, in := range m.inboxes {
 		in.unpoison()
 	}
+	// One pass, preferring root causes: a processor unwound by the
+	// poison is collateral damage and is only reported when no
+	// processor failed on its own.
+	var collateral error
 	for rank, err := range errs {
-		if err != nil && !secondary[rank] {
+		if err == nil {
+			continue
+		}
+		if !secondary[rank] {
 			return fmt.Errorf("rank %d: %w", rank, err)
+		}
+		if collateral == nil {
+			collateral = fmt.Errorf("rank %d: %w", rank, err)
 		}
 	}
-	for rank, err := range errs {
-		if err != nil {
-			return fmt.Errorf("rank %d: %w", rank, err)
-		}
+	if collateral != nil {
+		return collateral
 	}
 	for _, c := range m.costs {
 		if s := c.superstep(); s > m.maxSuper {

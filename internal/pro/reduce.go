@@ -1,10 +1,12 @@
 package pro
 
+import "randperm/internal/engine"
+
 // Reduce combines one value per processor with a binary operation and
 // delivers the result at the root; other ranks receive the zero value of
 // T. op must be associative; values are combined in rank order, so
 // non-commutative operations are well defined.
-func Reduce[T any](p *Proc, root int, v T, op func(a, b T) T) T {
+func Reduce[T any](p engine.Worker, root int, v T, op func(a, b T) T) T {
 	vals := Gather(p, root, v)
 	if p.Rank() != root {
 		var zero T
@@ -19,7 +21,7 @@ func Reduce[T any](p *Proc, root int, v T, op func(a, b T) T) T {
 }
 
 // AllReduce is Reduce delivered to every processor.
-func AllReduce[T any](p *Proc, v T, op func(a, b T) T) T {
+func AllReduce[T any](p engine.Worker, v T, op func(a, b T) T) T {
 	return Bcast(p, 0, Reduce(p, 0, v, op))
 }
 
@@ -27,7 +29,7 @@ func AllReduce[T any](p *Proc, v T, op func(a, b T) T) T {
 // op(v_0, ..., v_{r-1}), and rank 0 receives zero. It is the collective
 // behind order-preserving redistributions (e.g. the rebalancing step of
 // the sort-based shuffle baseline).
-func ExScan[T any](p *Proc, v T, op func(a, b T) T, zero T) T {
+func ExScan[T any](p engine.Worker, v T, op func(a, b T) T, zero T) T {
 	vals := AllGather(p, v)
 	acc := zero
 	for r := 0; r < p.Rank(); r++ {

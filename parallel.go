@@ -2,10 +2,55 @@ package randperm
 
 import (
 	"fmt"
+	"runtime"
 
 	"randperm/internal/core"
+	"randperm/internal/engine"
 	"randperm/internal/pro"
 )
+
+// Backend selects the execution engine behind ParallelShuffle and
+// ParallelShuffleBlocks.
+type Backend int
+
+const (
+	// BackendSim (the default) runs on the simulated PRO machine of the
+	// paper: one goroutine per simulated processor, message passing
+	// through mailboxes, and full superstep/byte/draw accounting in the
+	// Report. This is the paper-fidelity path used by permverify and
+	// the experiment harness.
+	BackendSim Backend = iota
+	// BackendSharedMem runs the same four phases of Algorithm 1
+	// directly on shared memory, with no simulated machine at all: the
+	// communication matrix is sampled once from its exact distribution,
+	// its prefix sums become disjoint write offsets, and workers
+	// scatter items straight into the output. Same uniform permutation
+	// distribution, much faster; the Report carries no cost accounting
+	// (only Procs is set) because nothing is simulated.
+	BackendSharedMem
+)
+
+// String names the backend ("sim" or "shmem").
+func (b Backend) String() string { return b.internal().String() }
+
+func (b Backend) internal() engine.Backend {
+	if b == BackendSharedMem {
+		return engine.SharedMem
+	}
+	return engine.Sim
+}
+
+// ParseBackend converts a flag value ("sim", "shmem") into a Backend.
+func ParseBackend(s string) (Backend, error) {
+	eb, ok := engine.ParseBackend(s)
+	if !ok {
+		return 0, fmt.Errorf("randperm: unknown backend %q (want sim or shmem)", s)
+	}
+	if eb == engine.SharedMem {
+		return BackendSharedMem, nil
+	}
+	return BackendSim, nil
+}
 
 // MatrixAlg selects how the parallel shuffle samples its communication
 // matrix (Problem 2 of the paper).
@@ -39,24 +84,42 @@ func (a MatrixAlg) String() string { return a.internal().String() }
 
 // Options configures a parallel shuffle.
 type Options struct {
-	// Procs is the number of simulated processors p (default 8). The
-	// paper's coarseness assumption is p <= sqrt(n).
+	// Procs is the decomposition width p: the number of simulated
+	// processors on the Sim backend, the number of blocks on the
+	// SharedMem backend (default 8). The paper's coarseness assumption
+	// is p <= sqrt(n).
 	Procs int
 	// Seed drives all randomness; runs are reproducible in it.
 	Seed uint64
 	// Matrix selects the matrix sampling algorithm (default MatrixOpt).
+	// The SharedMem backend ignores it: with shared memory there is
+	// nothing to distribute, so the matrix is always sampled once with
+	// the sequential Algorithm 3.
 	Matrix MatrixAlg
+	// Backend selects the execution engine (default BackendSim).
+	Backend Backend
+	// Parallelism caps the OS-level worker goroutines of the SharedMem
+	// backend (default GOMAXPROCS). It does not affect the result: the
+	// SharedMem output is deterministic in (Seed, Procs) alone. The Sim
+	// backend ignores it and always runs one goroutine per simulated
+	// processor.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
 	if o.Procs == 0 {
 		o.Procs = 8
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
 // Report summarizes the resources one parallel run consumed, the
-// quantities bounded by Theorem 1 of the paper.
+// quantities bounded by Theorem 1 of the paper. Only the Sim backend
+// simulates the machine these quantities live on; SharedMem runs fill in
+// Procs and leave the accounting fields zero.
 type Report struct {
 	Procs      int   // machine size p
 	Supersteps int   // number of BSP supersteps
@@ -81,12 +144,24 @@ func reportFrom(m *pro.Machine) Report {
 }
 
 // ParallelShuffle returns a uniformly shuffled copy of data, computed by
-// the paper's Algorithm 1 on opt.Procs simulated processors, together
-// with the resource report. The input is not modified.
+// the paper's Algorithm 1 on the selected backend (by default, opt.Procs
+// simulated processors), together with the resource report - fully
+// populated on BackendSim, Procs-only on BackendSharedMem. The input is
+// not modified.
 func ParallelShuffle[T any](data []T, opt Options) ([]T, Report, error) {
 	opt = opt.withDefaults()
 	if opt.Procs < 1 {
 		return nil, Report{}, fmt.Errorf("randperm: Procs must be positive, got %d", opt.Procs)
+	}
+	if opt.Backend == BackendSharedMem {
+		out, err := engine.PermuteSlice(data, opt.Procs, engine.Options{
+			Workers: opt.Parallelism,
+			Seed:    opt.Seed,
+		})
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{Procs: opt.Procs}, nil
 	}
 	out, m, err := core.PermuteSlice(data, opt.Procs, core.Config{
 		Seed:   opt.Seed,
@@ -105,6 +180,16 @@ func ParallelShuffle[T any](data []T, opt Options) ([]T, Report, error) {
 // likely.
 func ParallelShuffleBlocks[T any](blocks [][]T, targetSizes []int64, opt Options) ([][]T, Report, error) {
 	opt = opt.withDefaults()
+	if opt.Backend == BackendSharedMem {
+		out, err := engine.PermuteBlocks(blocks, targetSizes, engine.Options{
+			Workers: opt.Parallelism,
+			Seed:    opt.Seed,
+		})
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{Procs: len(blocks)}, nil
+	}
 	out, m, err := core.Permute(blocks, targetSizes, core.Config{
 		Seed:   opt.Seed,
 		Matrix: opt.Matrix.internal(),
