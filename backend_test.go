@@ -5,6 +5,7 @@
 package randperm_test
 
 import (
+	"runtime"
 	"testing"
 
 	"randperm"
@@ -22,8 +23,9 @@ func iotaInt64(n int) []int64 {
 
 func TestParseBackend(t *testing.T) {
 	for s, want := range map[string]randperm.Backend{
-		"sim":   randperm.BackendSim,
-		"shmem": randperm.BackendSharedMem,
+		"sim":     randperm.BackendSim,
+		"shmem":   randperm.BackendSharedMem,
+		"inplace": randperm.BackendInPlace,
 	} {
 		got, err := randperm.ParseBackend(s)
 		if err != nil || got != want {
@@ -97,6 +99,91 @@ func TestSharedMemReproducible(t *testing.T) {
 	}
 }
 
+// TestInPlaceShuffle mirrors TestSharedMemShuffle for the MergeShuffle
+// backend: permutation validity, input preservation, and the Report
+// contract across decomposition widths (including non-powers of two)
+// and worker counts.
+func TestInPlaceShuffle(t *testing.T) {
+	for _, procs := range []int{1, 3, 8, 64} {
+		for _, par := range []int{0, 1, 3} {
+			data := iotaInt64(1000)
+			out, rep, err := randperm.ParallelShuffle(data, randperm.Options{
+				Procs:       procs,
+				Seed:        7,
+				Backend:     randperm.BackendInPlace,
+				Parallelism: par,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Procs != procs {
+				t.Errorf("procs=%d: report.Procs = %d", procs, rep.Procs)
+			}
+			seen := make([]bool, len(data))
+			for _, v := range out {
+				if seen[v] {
+					t.Fatalf("procs=%d par=%d: duplicate %d", procs, par, v)
+				}
+				seen[v] = true
+			}
+			for i, v := range data {
+				if v != int64(i) {
+					t.Fatalf("procs=%d par=%d: input modified", procs, par)
+				}
+			}
+		}
+	}
+}
+
+// TestInPlaceParallelismEquivalence: the in-place output is
+// deterministic in (Seed, Procs) alone — Parallelism=1 and
+// Parallelism=GOMAXPROCS (and anything between) must produce the
+// identical permutation, because randomness is bound to merge-tree
+// nodes, never to pool workers.
+func TestInPlaceParallelismEquivalence(t *testing.T) {
+	data := iotaInt64(5000)
+	var ref []int64
+	for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		out, _, err := randperm.ParallelShuffle(data, randperm.Options{
+			Procs: 8, Seed: 42, Backend: randperm.BackendInPlace, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = out
+			continue
+		}
+		for i := range ref {
+			if out[i] != ref[i] {
+				t.Fatalf("parallelism=%d diverged at index %d", par, i)
+			}
+		}
+	}
+}
+
+func TestInPlaceShuffleBlocks(t *testing.T) {
+	blocks := [][]string{{"a", "b", "c"}, {"d"}, {"e", "f"}}
+	target := []int64{2, 2, 2}
+	out, rep, err := randperm.ParallelShuffleBlocks(blocks, target, randperm.Options{
+		Seed: 11, Backend: randperm.BackendInPlace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Procs != len(blocks) {
+		t.Errorf("report.Procs = %d, want %d", rep.Procs, len(blocks))
+	}
+	if err := core.CheckPermutation(blocks, out, target); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := randperm.ParallelShuffleBlocks(blocks, []int64{5, 5}, randperm.Options{
+		Backend: randperm.BackendInPlace,
+	}); err == nil {
+		t.Error("no error for mismatched target sizes")
+	}
+}
+
 func TestSharedMemShuffleBlocks(t *testing.T) {
 	blocks := [][]string{{"a", "b", "c"}, {"d"}, {"e", "f"}}
 	target := []int64{2, 2, 2}
@@ -131,7 +218,10 @@ func TestBackendsUniform(t *testing.T) {
 	const n = 4
 	const trials = 24000
 	nf := stats.Factorial(n)
-	for _, backend := range []randperm.Backend{randperm.BackendSim, randperm.BackendSharedMem} {
+	backends := []randperm.Backend{
+		randperm.BackendSim, randperm.BackendSharedMem, randperm.BackendInPlace,
+	}
+	for _, backend := range backends {
 		counts := make([]int64, nf)
 		for tr := 0; tr < trials; tr++ {
 			out, _, err := randperm.ParallelShuffle(iotaInt64(n), randperm.Options{

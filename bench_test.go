@@ -87,10 +87,12 @@ func BenchmarkE3Scaling(b *testing.B) {
 	}
 }
 
-// BenchmarkBackends races the two execution backends on the same
+// BenchmarkBackends races the three execution backends on the same
 // workload (the acceptance workload of the backend refactor: n=2^20,
 // p=8). The Sim backend pays for mailboxes, `any` boxing and draw
-// accounting; SharedMem scatters through precomputed disjoint offsets.
+// accounting; SharedMem scatters through precomputed disjoint offsets;
+// InPlace runs the MergeShuffle merge tree with zero per-item auxiliary
+// memory.
 func BenchmarkBackends(b *testing.B) {
 	const n = 1 << 20
 	const p = 8
@@ -98,7 +100,10 @@ func BenchmarkBackends(b *testing.B) {
 	for i := range data {
 		data[i] = int64(i)
 	}
-	for _, backend := range []randperm.Backend{randperm.BackendSim, randperm.BackendSharedMem} {
+	backends := []randperm.Backend{
+		randperm.BackendSim, randperm.BackendSharedMem, randperm.BackendInPlace,
+	}
+	for _, backend := range backends {
 		b.Run(backend.String(), func(b *testing.B) {
 			b.SetBytes(8 * n)
 			for i := 0; i < b.N; i++ {

@@ -31,7 +31,11 @@ type compareReport struct {
 	Trials     int             `json:"trials"`
 	GoMaxProcs int             `json:"gomaxprocs"`
 	Results    []backendResult `json:"results"`
-	Speedup    float64         `json:"speedup_shmem_vs_sim,omitempty"`
+	// Speedups maps "<a>_vs_<b>" to best_ns(b)/best_ns(a) for every
+	// ordered pair of measured backends, so BENCH_*.json trajectory
+	// points stay comparable as backends are added.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+	Speedup  float64            `json:"speedup_shmem_vs_sim,omitempty"`
 }
 
 // runCompare times the execution backends side by side on the same
@@ -48,7 +52,9 @@ func runCompare(n int64, p, workers, trials int, which string, seed uint64, asJS
 	var backends []randperm.Backend
 	switch which {
 	case "", "both", "all":
-		backends = []randperm.Backend{randperm.BackendSim, randperm.BackendSharedMem}
+		backends = []randperm.Backend{
+			randperm.BackendSim, randperm.BackendSharedMem, randperm.BackendInPlace,
+		}
 	default:
 		b, err := randperm.ParseBackend(which)
 		if err != nil {
@@ -97,11 +103,15 @@ func runCompare(n int64, p, workers, trials int, which string, seed uint64, asJS
 		rep.Results = append(rep.Results, r)
 		byName[r.Backend] = r
 	}
-	if sim, ok := byName["sim"]; ok {
-		if shm, ok := byName["shmem"]; ok && shm.BestNs > 0 {
-			rep.Speedup = float64(sim.BestNs) / float64(shm.BestNs)
+	rep.Speedups = map[string]float64{}
+	for an, a := range byName {
+		for bn, b := range byName {
+			if an != bn && a.BestNs > 0 {
+				rep.Speedups[an+"_vs_"+bn] = float64(b.BestNs) / float64(a.BestNs)
+			}
 		}
 	}
+	rep.Speedup = rep.Speedups["shmem_vs_sim"]
 
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -116,8 +126,12 @@ func runCompare(n int64, p, workers, trials int, which string, seed uint64, asJS
 		fmt.Printf("%-8s %12.2f %12.2f %14.3e\n",
 			r.Backend, float64(r.BestNs)/1e6, r.NsPerItem, r.ItemsPerS)
 	}
-	if rep.Speedup > 0 {
-		fmt.Printf("shmem speedup over sim: %.2fx\n", rep.Speedup)
+	for _, pair := range []struct{ a, b string }{
+		{"shmem", "sim"}, {"inplace", "sim"}, {"inplace", "shmem"},
+	} {
+		if s, ok := rep.Speedups[pair.a+"_vs_"+pair.b]; ok {
+			fmt.Printf("%s speedup over %s: %.2fx\n", pair.a, pair.b, s)
+		}
 	}
 	return nil
 }

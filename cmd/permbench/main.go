@@ -12,12 +12,12 @@
 //	permbench -exp E5 -csv        # machine-readable output
 //
 // Beyond the paper's experiments, -compare races the execution backends
-// (the simulated PRO machine vs. the shared-memory scatter engine) on
-// one workload:
+// (the simulated PRO machine, the shared-memory scatter engine, and the
+// MergeShuffle-style in-place engine) on one workload:
 //
-//	permbench -compare -n 1000000 -p 8          # side-by-side table
+//	permbench -compare -n 1000000 -p 8          # three-way table
 //	permbench -compare -json > BENCH_backends.json  # ns/item per backend
-//	permbench -compare -backend shmem -workers 4    # one backend only
+//	permbench -compare -backend inplace -workers 4  # one backend only
 package main
 
 import (
@@ -45,8 +45,8 @@ func main() {
 
 		cmp      = flag.Bool("compare", false, "time the execution backends side by side and exit")
 		cmpP     = flag.Int("p", 8, "decomposition width for -compare")
-		workers  = flag.Int("workers", 0, "SharedMem worker cap for -compare (0 = GOMAXPROCS)")
-		backends = flag.String("backend", "both", "backends for -compare: sim, shmem or both")
+		workers  = flag.Int("workers", 0, "worker-pool cap for -compare (0 = GOMAXPROCS)")
+		backends = flag.String("backend", "all", "backends for -compare: sim, shmem, inplace or all")
 		jsonOut  = flag.Bool("json", false, "with -compare, emit machine-readable JSON")
 	)
 	flag.Parse()

@@ -24,7 +24,7 @@
 //   - Exact distribution sampling: Hypergeometric, MultivariateHypergeometric,
 //     CommMatrix with its exact probability CommMatrixLogProb.
 //   - Parallel shuffling: ParallelShuffle and ParallelShuffleBlocks run
-//     the paper's Algorithm 1 on one of two interchangeable backends
+//     the paper's Algorithm 1 on one of three interchangeable backends
 //     (Options.Backend). BackendSim, the default, simulates the coarse
 //     grained machine with goroutine "processors", with the
 //     communication matrix sampled by Algorithm 3 at the root
@@ -35,10 +35,21 @@
 //     resource bounds observable. BackendSharedMem executes the same
 //     four phases directly on shared memory - the matrix sampled once,
 //     its prefix sums turned into disjoint write offsets, items
-//     scattered straight into the output - trading the accounting for
-//     raw speed.
+//     scattered straight into the output by a goroutine worker pool -
+//     trading the accounting for raw speed. BackendInPlace dispenses
+//     with the matrix altogether: following the MergeShuffle algorithm
+//     of Bacher, Bodini, Hollender and Lumbroso ("MergeShuffle: A Very
+//     Fast, Parallel Random Permutation Algorithm", arXiv:1508.03167;
+//     engineered for shared memory by Penschuck, arXiv:2302.03317) it
+//     Fisher-Yates shuffles 2^k blocks concurrently and merges adjacent
+//     runs pairwise with one random bit per placed item, touching no
+//     per-item auxiliary memory. Options.Parallelism caps the worker
+//     pool of the latter two; see ARCHITECTURE.md for the full layer
+//     map and the per-backend determinism contract.
 //
-// All randomness flows from a single seed through per-processor
-// jump-separated xoshiro256++ streams, so every result in this package is
-// deterministic and reproducible.
+// All randomness flows from a single seed through per-block
+// jump-separated xoshiro256++ streams (never bound to OS workers), so
+// every result in this package is deterministic and reproducible, and
+// the shared-memory backends are additionally independent of the worker
+// count.
 package randperm

@@ -33,6 +33,73 @@ func ExampleParallelShuffle() {
 	// Output: 1000 4 4
 }
 
+// Selecting an execution backend: the same Algorithm 1 decomposition
+// can run on the simulated PRO machine (full cost accounting), the
+// shared-memory scatter engine, or the MergeShuffle-style in-place
+// engine. All three are exactly uniform; only the Sim backend fills in
+// the accounting fields of the Report.
+func ExampleOptions_backend() {
+	data := make([]int64, 1000)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	for _, backend := range []randperm.Backend{
+		randperm.BackendSim,
+		randperm.BackendSharedMem,
+		randperm.BackendInPlace,
+	} {
+		out, report, err := randperm.ParallelShuffle(data, randperm.Options{
+			Procs:   4,
+			Seed:    7,
+			Backend: backend,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-7s n=%d procs=%d accounted=%v\n",
+			backend, len(out), report.Procs, report.Supersteps > 0)
+	}
+	// Output:
+	// sim     n=1000 procs=4 accounted=true
+	// shmem   n=1000 procs=4 accounted=false
+	// inplace n=1000 procs=4 accounted=false
+}
+
+// Worker-count scaling: Options.Parallelism caps the goroutine worker
+// pool of the SharedMem and InPlace backends. It only changes how many
+// OS-level workers execute the phases — randomness is bound to blocks
+// and merge-tree nodes, so every worker count produces the identical
+// permutation for the same (Seed, Procs).
+func Example_parallelism() {
+	data := make([]int64, 10000)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	var ref []int64
+	identical := true
+	for _, workers := range []int{1, 2, 4, 8} {
+		out, _, err := randperm.ParallelShuffle(data, randperm.Options{
+			Procs:       8,
+			Seed:        42,
+			Backend:     randperm.BackendInPlace,
+			Parallelism: workers,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if ref == nil {
+			ref = out
+		}
+		for i := range out {
+			if out[i] != ref[i] {
+				identical = false
+			}
+		}
+	}
+	fmt.Println("same permutation at every worker count:", identical)
+	// Output: same permutation at every worker count: true
+}
+
 // Sampling a communication matrix directly (Problem 2 of the paper):
 // how many items does each source block send to each target block?
 func ExampleCommMatrix() {

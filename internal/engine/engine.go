@@ -1,7 +1,7 @@
 // Package engine defines the execution-backend abstraction behind the
 // parallel API: the four phases of the paper's Algorithm 1 (local
 // shuffle, communication-matrix sample, data exchange, local shuffle)
-// can run on either of two interchangeable backends.
+// can run on any of three interchangeable backends.
 //
 //   - Sim is the simulated PRO machine of internal/pro: one goroutine
 //     per processor, message passing through mailboxes, and full
@@ -24,7 +24,21 @@
 //     i.i.d. bucket labels, and the engine picks cache-sized buckets
 //     (flatscatter.go).
 //
-// Both backends produce exactly uniform permutations; they differ only
+//   - InPlace, also in this package (inplace.go), abandons the scatter
+//     decomposition for MergeShuffle's: split into 2^k blocks,
+//     Fisher-Yates each block concurrently, then merge adjacent runs
+//     pairwise in k parallel rounds with one random bit per placed item.
+//     It allocates nothing per item — no labels, no second buffer — so
+//     it is the backend for memory-bound workloads and the template for
+//     future NUMA/distributed backends.
+//
+// All shared-memory phases dispatch onto one Pool (pool.go) of
+// long-lived worker goroutines per engine call; randomness stays bound
+// to blocks and merge-tree nodes, never to workers, so every backend's
+// output is deterministic in the seed and independent of the worker
+// count (the determinism contract in ARCHITECTURE.md).
+//
+// All backends produce exactly uniform permutations; they differ only
 // in how data moves and what gets accounted.
 package engine
 
@@ -81,6 +95,9 @@ const (
 	Sim Backend = iota
 	// SharedMem is the zero-mailbox shared-memory scatter engine.
 	SharedMem
+	// InPlace is the MergeShuffle-style divide-and-conquer in-place
+	// engine (inplace.go): no label arrays, no second buffer.
+	InPlace
 )
 
 // String names the backend for tables and flags.
@@ -90,6 +107,8 @@ func (b Backend) String() string {
 		return "sim"
 	case SharedMem:
 		return "shmem"
+	case InPlace:
+		return "inplace"
 	default:
 		return fmt.Sprintf("Backend(%d)", int(b))
 	}
@@ -102,6 +121,8 @@ func ParseBackend(s string) (Backend, bool) {
 		return Sim, true
 	case "shmem", "sharedmem", "shared-mem":
 		return SharedMem, true
+	case "inplace", "in-place", "mergeshuffle":
+		return InPlace, true
 	}
 	return 0, false
 }

@@ -28,13 +28,13 @@ func split(data []int64, sizes []int64) [][]int64 {
 }
 
 func TestBackendString(t *testing.T) {
-	if Sim.String() != "sim" || SharedMem.String() != "shmem" {
-		t.Fatalf("bad names: %v %v", Sim, SharedMem)
+	if Sim.String() != "sim" || SharedMem.String() != "shmem" || InPlace.String() != "inplace" {
+		t.Fatalf("bad names: %v %v %v", Sim, SharedMem, InPlace)
 	}
 	if !strings.Contains(Backend(9).String(), "9") {
 		t.Fatalf("bad unknown name: %v", Backend(9))
 	}
-	for _, s := range []string{"sim", "shmem", "sharedmem"} {
+	for _, s := range []string{"sim", "shmem", "sharedmem", "inplace", "mergeshuffle"} {
 		if _, ok := ParseBackend(s); !ok {
 			t.Errorf("ParseBackend(%q) failed", s)
 		}
@@ -262,19 +262,6 @@ func TestPermuteBlocksErrors(t *testing.T) {
 	}
 	if _, err := PermuteBlocks([][]int64{{1, 2}}, []int64{3, -1}, Options{}); err == nil {
 		t.Error("no error for negative target size")
-	}
-}
-
-func TestParallelForPanic(t *testing.T) {
-	for _, w := range []int{1, 4} {
-		err := parallelFor(w, 8, func(i int) {
-			if i == 3 {
-				panic("boom")
-			}
-		})
-		if err == nil || !strings.Contains(err.Error(), "boom") {
-			t.Fatalf("workers=%d: got %v, want captured panic", w, err)
-		}
 	}
 }
 

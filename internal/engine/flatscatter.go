@@ -42,7 +42,6 @@ const (
 // deep recursion on tiny inputs.
 func permuteFlat[T any](data []T, chunks int, opt Options, cutoff, maxK int) ([]T, error) {
 	n := len(data)
-	workers := opt.workers()
 	if chunks < 1 {
 		chunks = 1
 	}
@@ -57,6 +56,10 @@ func permuteFlat[T any](data []T, chunks int, opt Options, cutoff, maxK int) ([]
 
 	k := bucketCountFor(n, cutoff, maxK)
 	streams := xrand.NewStreams(opt.Seed, chunks+k)
+	// No phase is wider than max(chunks, k) tasks, so a larger pool
+	// would only spawn idle workers (and their streams).
+	pool := NewPool(min(opt.workers(), max(chunks, k)), opt.Seed)
+	defer pool.Close()
 
 	// Phase 1: i.i.d. bucket labels, generated per chunk so chunks can
 	// run in parallel; counts[c][b] is the communication matrix.
@@ -69,7 +72,7 @@ func permuteFlat[T any](data []T, chunks int, opt Options, cutoff, maxK int) ([]
 	}
 	labels := make([]uint8, n)
 	counts := make([][]int64, chunks)
-	if err := parallelFor(workers, chunks, func(c int) {
+	if err := pool.For(chunks, func(c int) {
 		counts[c] = fillLabels(streams[c], labels[chunkOff[c]:chunkOff[c]+chunkSizes[c]], k)
 	}); err != nil {
 		return nil, err
@@ -99,7 +102,7 @@ func permuteFlat[T any](data []T, chunks int, opt Options, cutoff, maxK int) ([]
 	// Phase 3: scatter. Each (chunk, bucket) range is owned by exactly
 	// one chunk, so concurrent writes never overlap.
 	out := make([]T, n)
-	if err := parallelFor(workers, chunks, func(c int) {
+	if err := pool.For(chunks, func(c int) {
 		f := fill[c]
 		lab := labels[chunkOff[c] : chunkOff[c]+chunkSizes[c]]
 		for i, v := range data[chunkOff[c] : chunkOff[c]+chunkSizes[c]] {
@@ -113,7 +116,7 @@ func permuteFlat[T any](data []T, chunks int, opt Options, cutoff, maxK int) ([]
 
 	// Phase 4: local shuffle of every bucket, splitting again if a
 	// bucket is still beyond the cache cutoff.
-	if err := parallelFor(workers, k, func(b int) {
+	if err := pool.For(k, func(b int) {
 		refine(streams[chunks+b], out[bucketStart[b]:bucketStart[b+1]], cutoff, maxK)
 	}); err != nil {
 		return nil, err

@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"testing"
+
+	"randperm/internal/stats"
+	"randperm/internal/xrand"
+)
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 8: 8, 9: 16, 1000: 1024}
+	for n, want := range cases {
+		if got := ceilPow2(n); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestShuffleInPlaceValidity checks the in-place result is a permutation
+// across block counts (including non-powers of two, which round up),
+// worker counts, and sizes that hit both the direct-FY guard and the
+// full merge tree.
+func TestShuffleInPlaceValidity(t *testing.T) {
+	for _, blocks := range []int{1, 2, 3, 8, 64} {
+		for _, w := range []int{0, 1, 4} {
+			for _, n := range []int{0, 1, 7, 1000} {
+				data := iota64(n)
+				if err := ShuffleInPlace(data, blocks, Options{Seed: 3, Workers: w}); err != nil {
+					t.Fatal(err)
+				}
+				seen := make([]bool, n)
+				for _, v := range data {
+					if seen[v] {
+						t.Fatalf("blocks=%d w=%d n=%d: duplicate %d", blocks, w, n, v)
+					}
+					seen[v] = true
+				}
+			}
+		}
+	}
+	if err := ShuffleInPlace(iota64(10), 0, Options{}); err == nil {
+		t.Error("no error for non-positive block count")
+	}
+}
+
+// TestShuffleInPlaceDeterministic: randomness is bound to merge-tree
+// nodes, so the exact output must be independent of the worker count —
+// the same scheduling-independence contract as the scatter engine.
+func TestShuffleInPlaceDeterministic(t *testing.T) {
+	var ref []int64
+	for _, w := range []int{1, 2, 4, 13} {
+		data := iota64(4096)
+		if err := ShuffleInPlace(data, 16, Options{Seed: 99, Workers: w}); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = data
+			continue
+		}
+		for i := range ref {
+			if data[i] != ref[i] {
+				t.Fatalf("workers=%d diverged at index %d", w, i)
+			}
+		}
+	}
+}
+
+// TestShuffleInPlaceDeepTree forces a deep merge tree (32 blocks over
+// 10k items, 5 merge rounds) under real concurrency, so `go test -race`
+// exercises concurrent leaf shuffles and every merge round.
+func TestShuffleInPlaceDeepTree(t *testing.T) {
+	data := iota64(10000)
+	if err := ShuffleInPlace(data, 32, Options{Seed: 5, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(data))
+	for _, v := range data {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestShuffleInPlaceUniform chi-squares the full pipeline at the
+// smallest size that exercises a real merge (n=4, b=2: two 2-item leaf
+// shuffles plus one merge): all 4! permutations must be equally likely.
+func TestShuffleInPlaceUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	const n = 4
+	const trials = 24000
+	nf := stats.Factorial(n)
+	for _, blocks := range []int{2, 4} {
+		counts := make([]int64, nf)
+		for tr := 0; tr < trials; tr++ {
+			data := iota64(n)
+			if err := ShuffleInPlace(data, blocks, Options{
+				Seed:    uint64(tr)*0x9E3779B97F4A7C15 + 9,
+				Workers: 2,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			counts[stats.RankPermInt64(data)]++
+		}
+		res, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(0.0005) {
+			t.Errorf("blocks=%d: in-place shuffle non-uniform, %s", blocks, res)
+		}
+	}
+}
+
+// TestMergeShuffleUniform pins the merge itself to Lemma 1 of the
+// MergeShuffle paper: merging two independently uniformly shuffled runs
+// must yield a uniformly shuffled whole, including ragged splits.
+func TestMergeShuffleUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	const n = 4
+	const trials = 24000
+	nf := stats.Factorial(n)
+	for _, mid := range []int{1, 2, 3} {
+		counts := make([]int64, nf)
+		for tr := 0; tr < trials; tr++ {
+			rng := xrand.NewXoshiro256(uint64(tr)*0x9E3779B97F4A7C15 + 17)
+			a := iota64(n)
+			shuffleX(rng, a[:mid])
+			shuffleX(rng, a[mid:])
+			mergeShuffle(rng, a, mid)
+			counts[stats.RankPermInt64(a)]++
+		}
+		res, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(0.0005) {
+			t.Errorf("mid=%d: merge non-uniform, %s", mid, res)
+		}
+	}
+}
+
+// TestMergeShufflePositionUniform exercises the branchless word-at-a-time
+// fast path (it only engages when both runs hold >= 64 items): after
+// merging two uniformly shuffled 128-item runs, every item is equally
+// likely to land at every position, so the final position of item 0 must
+// be uniform over [0, 256). The full-permutation chi-square above cannot
+// reach this size; the marginal catches gross fast-path bias (wrong bit
+// order, off-by-one in the exhaustion guard).
+func TestMergeShufflePositionUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	const n = 256
+	const trials = 51200
+	counts := make([]int64, n)
+	for tr := 0; tr < trials; tr++ {
+		rng := xrand.NewXoshiro256(uint64(tr)*0x9E3779B97F4A7C15 + 29)
+		a := iota64(n)
+		shuffleX(rng, a[:n/2])
+		shuffleX(rng, a[n/2:])
+		mergeShuffle(rng, a, n/2)
+		for pos, v := range a {
+			if v == 0 {
+				counts[pos]++
+				break
+			}
+		}
+	}
+	res, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.0005) {
+		t.Errorf("item-0 position non-uniform after fast-path merge: %s", res)
+	}
+}
+
+// TestMergeShuffleDegenerate: empty runs must still terminate and leave
+// a uniform (trivially, any) permutation behind.
+func TestMergeShuffleDegenerate(t *testing.T) {
+	for _, mid := range []int{0, 5} {
+		a := iota64(5)
+		mergeShuffle(xrand.NewXoshiro256(1), a, mid)
+		seen := make([]bool, len(a))
+		for _, v := range a {
+			if seen[v] {
+				t.Fatalf("mid=%d: duplicate %d", mid, v)
+			}
+			seen[v] = true
+		}
+	}
+	mergeShuffle(xrand.NewXoshiro256(1), []int64{}, 0)
+}
+
+// TestPermuteSliceInPlace: the copying form must not modify its input.
+func TestPermuteSliceInPlace(t *testing.T) {
+	data := iota64(500)
+	out, err := PermuteSliceInPlace(data, 8, Options{Seed: 21, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		if v != int64(i) {
+			t.Fatalf("input modified at %d", i)
+		}
+	}
+	seen := make([]bool, len(data))
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestPermuteBlocksInPlace: redistribution via flatten + in-place
+// shuffle + split, with the same validation surface as the scatter
+// engine's block form.
+func TestPermuteBlocksInPlace(t *testing.T) {
+	blocks := split(iota64(100), []int64{40, 1, 9, 50})
+	target := []int64{10, 60, 0, 30}
+	out, err := PermuteBlocksInPlace(blocks, target, Options{Seed: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 100)
+	for j, b := range out {
+		if int64(len(b)) != target[j] {
+			t.Fatalf("block %d has %d items, want %d", j, len(b), target[j])
+		}
+		for _, v := range b {
+			if seen[v] {
+				t.Fatalf("duplicate %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	var next int64
+	for i, b := range blocks {
+		for k, v := range b {
+			if v != next {
+				t.Fatalf("input block %d modified at %d", i, k)
+			}
+			next++
+		}
+	}
+	if _, err := PermuteBlocksInPlace[int64](nil, nil, Options{}); err == nil {
+		t.Error("no error for zero blocks")
+	}
+	if _, err := PermuteBlocksInPlace([][]int64{{1, 2}}, []int64{3}, Options{}); err == nil {
+		t.Error("no error for mismatched totals")
+	}
+	if _, err := PermuteBlocksInPlace([][]int64{{1, 2}}, []int64{3, -1}, Options{}); err == nil {
+		t.Error("no error for negative target size")
+	}
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"randperm/internal/xrand"
+)
+
+// Pool is a fixed set of long-lived worker goroutines that the
+// shared-memory backends dispatch their phases onto. One engine
+// invocation creates one Pool and runs every parallel phase on it, so a
+// multi-phase algorithm (scatter, then offsets, then local shuffles; or
+// leaf shuffles, then log p merge rounds) pays the goroutine spawn cost
+// once instead of once per phase.
+//
+// Every worker owns a private xrand.Xoshiro256 stream, split from the
+// pool seed by 2^192-step long jumps (xrand.NewLongStreams), so the
+// worker streams are disjoint from the per-block Jump-separated streams
+// the algorithms derive from the same seed with xrand.NewStreams.
+//
+// Determinism contract: work scheduled with For carries its randomness
+// in per-task state (the backends bind RNG streams to blocks and merge
+// nodes, never to workers), so the result is reproducible in the seed
+// and independent of the worker count — this is the mode every shipped
+// backend uses. ForRNG instead hands each task the executing worker's
+// private stream; because the dynamic schedule decides which worker runs
+// which task, output produced from those draws is NOT reproducible
+// across runs or worker counts, only its distribution is. ForRNG is the
+// documented escape hatch for algorithms that trade reproducibility for
+// zero stream-setup cost (the MergeShuffle paper's own processor-local
+// randomness, future NUMA/distributed backends); see ARCHITECTURE.md.
+//
+// A Pool must be released with Close. It is safe for one goroutine at a
+// time to call For/ForRNG; the pool itself never outlives the engine
+// call that created it.
+type Pool struct {
+	jobs []chan *poolJob // one channel per worker, jobs are broadcast
+	wg   sync.WaitGroup  // worker goroutines
+}
+
+// NewPool starts a pool of `workers` goroutines (minimum 1), each with
+// its own long-jump-separated RNG stream derived from seed.
+func NewPool(workers int, seed uint64) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{jobs: make([]chan *poolJob, workers)}
+	rngs := xrand.NewLongStreams(seed, workers)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		ch := make(chan *poolJob, 1)
+		p.jobs[w] = ch
+		go func(rng *xrand.Xoshiro256, ch chan *poolJob) {
+			defer p.wg.Done()
+			for job := range ch {
+				job.run(rng)
+				job.wg.Done()
+			}
+		}(rngs[w], ch)
+	}
+	return p
+}
+
+// Workers returns the number of worker goroutines.
+func (p *Pool) Workers() int { return len(p.jobs) }
+
+// Close shuts the workers down and blocks until they exit. The pool must
+// not be used afterwards.
+func (p *Pool) Close() {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+	p.wg.Wait()
+}
+
+// For runs fn(0) .. fn(n-1) across the pool's workers (dynamic
+// load-balanced scheduling) and blocks until every call returns. A panic
+// in any call is captured and returned as an error — the first one
+// recorded wins, mirroring the contract of pro.Machine.Run — and the
+// remaining tasks still run to completion, so the pool stays usable.
+func (p *Pool) For(n int, fn func(i int)) error {
+	return p.ForRNG(n, func(i int, _ *xrand.Xoshiro256) { fn(i) })
+}
+
+// ForRNG is For with the executing worker's private stream passed to
+// each task. Draws from that stream are schedule-bound: reproducible in
+// nothing but the distribution (see the Pool determinism contract).
+func (p *Pool) ForRNG(n int, fn func(i int, rng *xrand.Xoshiro256)) error {
+	if n <= 0 {
+		return nil
+	}
+	job := &poolJob{n: n, fn: fn}
+	job.wg.Add(len(p.jobs))
+	for _, ch := range p.jobs {
+		ch <- job
+	}
+	job.wg.Wait()
+	return job.first
+}
+
+// poolJob is one parallel-for: workers race on the atomic index counter
+// until the range is exhausted.
+type poolJob struct {
+	n     int
+	fn    func(i int, rng *xrand.Xoshiro256)
+	next  atomic.Int64
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	first error
+}
+
+func (j *poolJob) run(rng *xrand.Xoshiro256) {
+	for {
+		i := int(j.next.Add(1)) - 1
+		if i >= j.n {
+			return
+		}
+		if err := j.protect(i, rng); err != nil {
+			j.mu.Lock()
+			if j.first == nil {
+				j.first = err
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+func (j *poolJob) protect(i int, rng *xrand.Xoshiro256) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: task %d panicked: %v", i, r)
+		}
+	}()
+	j.fn(i, rng)
+	return nil
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"randperm/internal/xrand"
+)
+
+// TestPoolFor checks the basic parallel-for contract: every index runs
+// exactly once, at every worker count, including n smaller and much
+// larger than the pool.
+func TestPoolFor(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 13} {
+		pool := NewPool(w, 1)
+		if pool.Workers() != w {
+			t.Fatalf("Workers() = %d, want %d", pool.Workers(), w)
+		}
+		for _, n := range []int{0, 1, w - 1, 100} {
+			if n < 0 {
+				continue
+			}
+			hits := make([]atomic.Int64, n)
+			if err := pool.For(n, func(i int) { hits[i].Add(1) }); err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if c := hits[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", w, n, i, c)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestPoolPanic pins the panic contract inherited from the old transient
+// parallelFor: a panicking task surfaces as an error naming the task,
+// the remaining tasks still run, and — the new pool-specific part — the
+// worker goroutines survive, so the same pool is reusable for the next
+// phase.
+func TestPoolPanic(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		pool := NewPool(w, 1)
+		var ran atomic.Int64
+		err := pool.For(8, func(i int) {
+			if i == 3 {
+				panic("boom")
+			}
+			ran.Add(1)
+		})
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("workers=%d: got %v, want captured panic", w, err)
+		}
+		if ran.Load() != 7 {
+			t.Fatalf("workers=%d: %d tasks ran after panic, want 7", w, ran.Load())
+		}
+		// The pool must still work: a panic kills the task, not the worker.
+		if err := pool.For(4, func(int) {}); err != nil {
+			t.Fatalf("workers=%d: pool unusable after panic: %v", w, err)
+		}
+		pool.Close()
+	}
+}
+
+// TestPoolWorkerStreams: each worker owns a private long-jump-separated
+// stream. With one worker the schedule is trivial, so ForRNG draws are
+// reproducible and must match xrand.NewLongStreams directly; with many
+// workers the draws must come from distinct generator states (no stream
+// is ever shared between concurrent tasks).
+func TestPoolWorkerStreams(t *testing.T) {
+	pool := NewPool(1, 42)
+	var got [4]uint64
+	if err := pool.ForRNG(4, func(i int, rng *xrand.Xoshiro256) {
+		got[i] = rng.Uint64()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	want := xrand.NewLongStreams(42, 1)[0]
+	for i, v := range got {
+		if w := want.Uint64(); v != w {
+			t.Fatalf("draw %d: got %d, want %d from the worker's long stream", i, v, w)
+		}
+	}
+
+	// Multi-worker: first draw per executing worker must be one of the
+	// distinct per-worker stream heads, never a duplicate state.
+	const workers = 4
+	heads := map[uint64]bool{}
+	for _, s := range xrand.NewLongStreams(42, workers) {
+		heads[s.Uint64()] = true
+	}
+	if len(heads) != workers {
+		t.Fatalf("worker stream heads collide: %d distinct of %d", len(heads), workers)
+	}
+	pool = NewPool(workers, 42)
+	defer pool.Close()
+	seen := make([]uint64, 64)
+	if err := pool.ForRNG(len(seen), func(i int, rng *xrand.Xoshiro256) {
+		seen[i] = rng.Uint64()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seen {
+		for k := i + 1; k < len(seen); k++ {
+			if seen[k] == v {
+				t.Fatalf("tasks %d and %d drew identical values %d: stream shared or reused", i, k, v)
+			}
+		}
+	}
+}
+
+// TestPoolStreamsDisjointFromAlgorithm: the pool's worker streams
+// (long-jump family) must not collide with the per-block algorithm
+// streams (jump family) derived from the same seed — the property that
+// lets an engine call reuse one seed for both.
+func TestPoolStreamsDisjointFromAlgorithm(t *testing.T) {
+	const seed = 7
+	blockHeads := map[uint64]bool{}
+	for _, s := range xrand.NewStreams(seed, 64) {
+		blockHeads[s.Uint64()] = true
+	}
+	for i, s := range xrand.NewLongStreams(seed, 16) {
+		if blockHeads[s.Uint64()] {
+			t.Fatalf("worker stream %d head collides with a block stream head", i)
+		}
+	}
+}

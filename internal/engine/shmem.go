@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"randperm/internal/commat"
 	"randperm/internal/xrand"
@@ -103,7 +101,10 @@ func permute[T any](in [][]T, outSizes []int64, opt Options) ([]T, [][]T, error)
 	// streams to blocks (not workers) makes the output independent of
 	// the worker schedule.
 	streams := xrand.NewStreams(opt.Seed, 1+p+pp)
-	workers := opt.workers()
+	// No phase is wider than max(p, pp) tasks, so a larger pool would
+	// only spawn idle workers (and their streams).
+	pool := NewPool(min(opt.workers(), max(p, pp)), opt.Seed)
+	defer pool.Close()
 
 	// Phase 1: one exact communication-matrix sample plus the prefix
 	// sums that turn it into disjoint scatter ranges. The range
@@ -122,7 +123,7 @@ func permute[T any](in [][]T, outSizes []int64, opt Options) ([]T, [][]T, error)
 	// (the paper's phases 1 and 3 fused into a single pass, see
 	// routeBlock).
 	flat := make([]T, n)
-	if err := parallelFor(workers, p, func(i int) {
+	if err := pool.For(p, func(i int) {
 		routeBlock(streams[1+i], in[i], a.Row(i), starts[i], flat)
 	}); err != nil {
 		return nil, nil, err
@@ -131,7 +132,7 @@ func permute[T any](in [][]T, outSizes []int64, opt Options) ([]T, [][]T, error)
 	// Phase 3: uniform local permutation of each target block, mixing
 	// the contributions of all sources (the paper's phase 4).
 	out := make([][]T, pp)
-	if err := parallelFor(workers, pp, func(j int) {
+	if err := pool.For(pp, func(j int) {
 		blk := flat[colOff[j] : colOff[j]+outSizes[j] : colOff[j]+outSizes[j]]
 		shuffleX(streams[1+p+j], blk)
 		out[j] = blk
@@ -222,60 +223,4 @@ func evenBlocks(n int64, p int) []int64 {
 		}
 	}
 	return sizes
-}
-
-// parallelFor runs fn(0) .. fn(n-1) on up to `workers` goroutines and
-// blocks until every call returns. A panic in any call is captured and
-// returned as an error (the first one recorded wins), mirroring the
-// contract of pro.Machine.Run; remaining tasks still run to completion.
-func parallelFor(workers, n int, fn func(int)) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		var first error
-		for i := 0; i < n; i++ {
-			if err := protect(fn, i); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}
-	var (
-		next  atomic.Int64
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := protect(fn, i); err != nil {
-					mu.Lock()
-					if first == nil {
-						first = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return first
-}
-
-func protect(fn func(int), i int) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("engine: task %d panicked: %v", i, r)
-		}
-	}()
-	fn(i)
-	return nil
 }

@@ -138,6 +138,33 @@ func TestNewStreamsIndependentAndStable(t *testing.T) {
 	}
 }
 
+func TestNewLongStreamsIndependentAndStable(t *testing.T) {
+	s1 := NewLongStreams(21, 2)
+	s2 := NewLongStreams(21, 4)
+	// Stream i must not depend on k.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 32; j++ {
+			if s1[i].Uint64() != s2[i].Uint64() {
+				t.Fatalf("long stream %d depends on the stream count", i)
+			}
+		}
+	}
+	// Long streams must differ from each other and from the Jump-family
+	// streams of the same seed (the two families coexist in the engine:
+	// blocks on Jump streams, pool workers on LongJump streams).
+	v := make(map[uint64]bool)
+	for _, s := range NewStreams(21, 8) {
+		v[s.Uint64()] = true
+	}
+	for i, s := range NewLongStreams(21, 4) {
+		x := s.Uint64()
+		if v[x] {
+			t.Fatalf("long stream %d collides with another stream head", i)
+		}
+		v[x] = true
+	}
+}
+
 func TestCounting(t *testing.T) {
 	c := NewCounting(NewSplitMix64(3))
 	if c.Count() != 0 {

@@ -28,28 +28,46 @@ const (
 	// distribution, much faster; the Report carries no cost accounting
 	// (only Procs is set) because nothing is simulated.
 	BackendSharedMem
+	// BackendInPlace is the MergeShuffle-style divide-and-conquer
+	// engine (Bacher et al., arXiv:1508.03167): the array is split into
+	// 2^k blocks (k from Options.Procs), each block is Fisher-Yates
+	// shuffled concurrently, and adjacent runs are merged pairwise in k
+	// parallel rounds using one random bit per placed item. It touches
+	// no per-item auxiliary memory — no label arrays, no scatter buffer
+	// — so beyond the API's single input copy the footprint is O(p).
+	// Same uniform distribution; the Report carries only Procs.
+	BackendInPlace
 )
 
-// String names the backend ("sim" or "shmem").
+// String names the backend ("sim", "shmem" or "inplace").
 func (b Backend) String() string { return b.internal().String() }
 
 func (b Backend) internal() engine.Backend {
-	if b == BackendSharedMem {
+	switch b {
+	case BackendSharedMem:
 		return engine.SharedMem
+	case BackendInPlace:
+		return engine.InPlace
+	default:
+		return engine.Sim
 	}
-	return engine.Sim
 }
 
-// ParseBackend converts a flag value ("sim", "shmem") into a Backend.
+// ParseBackend converts a flag value ("sim", "shmem", "inplace") into a
+// Backend.
 func ParseBackend(s string) (Backend, error) {
 	eb, ok := engine.ParseBackend(s)
 	if !ok {
-		return 0, fmt.Errorf("randperm: unknown backend %q (want sim or shmem)", s)
+		return 0, fmt.Errorf("randperm: unknown backend %q (want sim, shmem or inplace)", s)
 	}
-	if eb == engine.SharedMem {
+	switch eb {
+	case engine.SharedMem:
 		return BackendSharedMem, nil
+	case engine.InPlace:
+		return BackendInPlace, nil
+	default:
+		return BackendSim, nil
 	}
-	return BackendSim, nil
 }
 
 // MatrixAlg selects how the parallel shuffle samples its communication
@@ -86,8 +104,9 @@ func (a MatrixAlg) String() string { return a.internal().String() }
 type Options struct {
 	// Procs is the decomposition width p: the number of simulated
 	// processors on the Sim backend, the number of blocks on the
-	// SharedMem backend (default 8). The paper's coarseness assumption
-	// is p <= sqrt(n).
+	// SharedMem and InPlace backends (default 8; InPlace rounds it up
+	// to a power of two for its merge tree). The paper's coarseness
+	// assumption is p <= sqrt(n).
 	Procs int
 	// Seed drives all randomness; runs are reproducible in it.
 	Seed uint64
@@ -98,11 +117,12 @@ type Options struct {
 	Matrix MatrixAlg
 	// Backend selects the execution engine (default BackendSim).
 	Backend Backend
-	// Parallelism caps the OS-level worker goroutines of the SharedMem
-	// backend (default GOMAXPROCS). It does not affect the result: the
-	// SharedMem output is deterministic in (Seed, Procs) alone. The Sim
-	// backend ignores it and always runs one goroutine per simulated
-	// processor.
+	// Parallelism caps the worker-pool goroutines of the SharedMem and
+	// InPlace backends (default GOMAXPROCS). It does not affect the
+	// result: both backends bind randomness to blocks and merge-tree
+	// nodes rather than to workers, so their output is deterministic in
+	// (Seed, Procs) alone. The Sim backend ignores it and always runs
+	// one goroutine per simulated processor.
 	Parallelism int
 }
 
@@ -118,8 +138,8 @@ func (o Options) withDefaults() Options {
 
 // Report summarizes the resources one parallel run consumed, the
 // quantities bounded by Theorem 1 of the paper. Only the Sim backend
-// simulates the machine these quantities live on; SharedMem runs fill in
-// Procs and leave the accounting fields zero.
+// simulates the machine these quantities live on; SharedMem and InPlace
+// runs fill in Procs and leave the accounting fields zero.
 type Report struct {
 	Procs      int   // machine size p
 	Supersteps int   // number of BSP supersteps
@@ -153,8 +173,18 @@ func ParallelShuffle[T any](data []T, opt Options) ([]T, Report, error) {
 	if opt.Procs < 1 {
 		return nil, Report{}, fmt.Errorf("randperm: Procs must be positive, got %d", opt.Procs)
 	}
-	if opt.Backend == BackendSharedMem {
+	switch opt.Backend {
+	case BackendSharedMem:
 		out, err := engine.PermuteSlice(data, opt.Procs, engine.Options{
+			Workers: opt.Parallelism,
+			Seed:    opt.Seed,
+		})
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{Procs: opt.Procs}, nil
+	case BackendInPlace:
+		out, err := engine.PermuteSliceInPlace(data, opt.Procs, engine.Options{
 			Workers: opt.Parallelism,
 			Seed:    opt.Seed,
 		})
@@ -180,8 +210,18 @@ func ParallelShuffle[T any](data []T, opt Options) ([]T, Report, error) {
 // likely.
 func ParallelShuffleBlocks[T any](blocks [][]T, targetSizes []int64, opt Options) ([][]T, Report, error) {
 	opt = opt.withDefaults()
-	if opt.Backend == BackendSharedMem {
+	switch opt.Backend {
+	case BackendSharedMem:
 		out, err := engine.PermuteBlocks(blocks, targetSizes, engine.Options{
+			Workers: opt.Parallelism,
+			Seed:    opt.Seed,
+		})
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{Procs: len(blocks)}, nil
+	case BackendInPlace:
+		out, err := engine.PermuteBlocksInPlace(blocks, targetSizes, engine.Options{
 			Workers: opt.Parallelism,
 			Seed:    opt.Seed,
 		})
