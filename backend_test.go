@@ -23,9 +23,10 @@ func iotaInt64(n int) []int64 {
 
 func TestParseBackend(t *testing.T) {
 	for s, want := range map[string]randperm.Backend{
-		"sim":     randperm.BackendSim,
-		"shmem":   randperm.BackendSharedMem,
-		"inplace": randperm.BackendInPlace,
+		"sim":       randperm.BackendSim,
+		"shmem":     randperm.BackendSharedMem,
+		"inplace":   randperm.BackendInPlace,
+		"bijective": randperm.BackendBijective,
 	} {
 		got, err := randperm.ParseBackend(s)
 		if err != nil || got != want {

@@ -87,12 +87,14 @@ func BenchmarkE3Scaling(b *testing.B) {
 	}
 }
 
-// BenchmarkBackends races the three execution backends on the same
+// BenchmarkBackends races the four execution backends on the same
 // workload (the acceptance workload of the backend refactor: n=2^20,
 // p=8). The Sim backend pays for mailboxes, `any` boxing and draw
 // accounting; SharedMem scatters through precomputed disjoint offsets;
 // InPlace runs the MergeShuffle merge tree with zero per-item auxiliary
-// memory.
+// memory; Bijective evaluates a 12-round Feistel network per item (its
+// materializing form — the backend exists for streaming, where it is
+// the only one that can skip materializing at all).
 func BenchmarkBackends(b *testing.B) {
 	const n = 1 << 20
 	const p = 8
@@ -101,7 +103,8 @@ func BenchmarkBackends(b *testing.B) {
 		data[i] = int64(i)
 	}
 	backends := []randperm.Backend{
-		randperm.BackendSim, randperm.BackendSharedMem, randperm.BackendInPlace,
+		randperm.BackendSim, randperm.BackendSharedMem,
+		randperm.BackendInPlace, randperm.BackendBijective,
 	}
 	for _, backend := range backends {
 		b.Run(backend.String(), func(b *testing.B) {
@@ -115,6 +118,30 @@ func BenchmarkBackends(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPermuterChunk measures the streaming path: pulling one 64Ki
+// page of an n=2^40 permutation through Permuter.Chunk on the bijective
+// backend — the workload where no other backend can even start, since
+// materializing 2^40 indexes is 8 TB. ns/op divided by 65536 is the
+// per-index cost of the Feistel evaluation including cycle-walking.
+func BenchmarkPermuterChunk(b *testing.B) {
+	const page = 1 << 16
+	pm, err := randperm.NewPermuter(1<<40, randperm.Options{
+		Seed: 9, Backend: randperm.BackendBijective,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]int64, page)
+	b.SetBytes(8 * page)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (int64(i) * page) % (1<<40 - page)
+		if _, err := pm.Chunk(dst, start); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

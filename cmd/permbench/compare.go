@@ -53,7 +53,8 @@ func runCompare(n int64, p, workers, trials int, which string, seed uint64, asJS
 	switch which {
 	case "", "both", "all":
 		backends = []randperm.Backend{
-			randperm.BackendSim, randperm.BackendSharedMem, randperm.BackendInPlace,
+			randperm.BackendSim, randperm.BackendSharedMem,
+			randperm.BackendInPlace, randperm.BackendBijective,
 		}
 	default:
 		b, err := randperm.ParseBackend(which)
@@ -121,13 +122,14 @@ func runCompare(n int64, p, workers, trials int, which string, seed uint64, asJS
 
 	fmt.Printf("Backend comparison: n=%d p=%d workers=%d trials=%d (best of)\n",
 		n, p, workers, trials)
-	fmt.Printf("%-8s %12s %12s %14s\n", "backend", "ms/run", "ns/item", "items/s")
+	fmt.Printf("%-10s %12s %12s %14s\n", "backend", "ms/run", "ns/item", "items/s")
 	for _, r := range rep.Results {
-		fmt.Printf("%-8s %12.2f %12.2f %14.3e\n",
+		fmt.Printf("%-10s %12.2f %12.2f %14.3e\n",
 			r.Backend, float64(r.BestNs)/1e6, r.NsPerItem, r.ItemsPerS)
 	}
 	for _, pair := range []struct{ a, b string }{
 		{"shmem", "sim"}, {"inplace", "sim"}, {"inplace", "shmem"},
+		{"bijective", "sim"}, {"bijective", "shmem"},
 	} {
 		if s, ok := rep.Speedups[pair.a+"_vs_"+pair.b]; ok {
 			fmt.Printf("%s speedup over %s: %.2fx\n", pair.a, pair.b, s)

@@ -12,10 +12,11 @@
 //	permbench -exp E5 -csv        # machine-readable output
 //
 // Beyond the paper's experiments, -compare races the execution backends
-// (the simulated PRO machine, the shared-memory scatter engine, and the
-// MergeShuffle-style in-place engine) on one workload:
+// (the simulated PRO machine, the shared-memory scatter engine, the
+// MergeShuffle-style in-place engine, and the keyed-bijection streaming
+// engine) on one workload:
 //
-//	permbench -compare -n 1000000 -p 8          # three-way table
+//	permbench -compare -n 1000000 -p 8          # four-way table
 //	permbench -compare -json > BENCH_backends.json  # ns/item per backend
 //	permbench -compare -backend inplace -workers 4  # one backend only
 package main
@@ -46,7 +47,7 @@ func main() {
 		cmp      = flag.Bool("compare", false, "time the execution backends side by side and exit")
 		cmpP     = flag.Int("p", 8, "decomposition width for -compare")
 		workers  = flag.Int("workers", 0, "worker-pool cap for -compare (0 = GOMAXPROCS)")
-		backends = flag.String("backend", "all", "backends for -compare: sim, shmem, inplace or all")
+		backends = flag.String("backend", "all", "backends for -compare: sim, shmem, inplace, bijective or all")
 		jsonOut  = flag.Bool("json", false, "with -compare, emit machine-readable JSON")
 	)
 	flag.Parse()

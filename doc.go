@@ -17,14 +17,14 @@
 // multivariate hypergeometric law), then route a_ij arbitrarily chosen
 // items per processor pair and shuffle locally on both sides.
 //
-// The package exposes three layers:
+// The package exposes four layers:
 //
 //   - Sequential shuffling: Shuffle (Fisher-Yates), BlockShuffle (the
 //     paper's cache-friendly outlook idea), Perm.
 //   - Exact distribution sampling: Hypergeometric, MultivariateHypergeometric,
 //     CommMatrix with its exact probability CommMatrixLogProb.
 //   - Parallel shuffling: ParallelShuffle and ParallelShuffleBlocks run
-//     the paper's Algorithm 1 on one of three interchangeable backends
+//     the paper's Algorithm 1 on one of four interchangeable backends
 //     (Options.Backend). BackendSim, the default, simulates the coarse
 //     grained machine with goroutine "processors", with the
 //     communication matrix sampled by Algorithm 3 at the root
@@ -43,13 +43,29 @@
 //     engineered for shared memory by Penschuck, arXiv:2302.03317) it
 //     Fisher-Yates shuffles 2^k blocks concurrently and merges adjacent
 //     runs pairwise with one random bit per placed item, touching no
-//     per-item auxiliary memory. Options.Parallelism caps the worker
-//     pool of the latter two; see ARCHITECTURE.md for the full layer
-//     map and the per-backend determinism contract.
+//     per-item auxiliary memory. BackendBijective computes the
+//     permutation instead of constructing it - a keyed variable-round
+//     Feistel bijection with cycle-walking, after the bijective-function
+//     designs of bandwidth-optimal GPU shuffling (Mitchell et al.,
+//     arXiv:2106.06161) - in O(1) state per index; it is the one
+//     backend that is not exactly uniform over S_n (a 2^64-key family
+//     with uniform marginals; gate with Backend.ExactUniform).
+//     Options.Parallelism caps the worker pool of the latter three; see
+//     ARCHITECTURE.md for the full layer map, the choosing-a-backend
+//     decision table and the per-backend determinism contract.
+//   - Streaming: NewPermuter returns a Permuter, a reusable handle on
+//     one fixed permutation of [0, n) that is pulled on demand - Chunk
+//     fills a caller-owned page, Iter ranges over the whole order, At
+//     answers point queries, Reset re-keys - instead of materialized in
+//     one slice. On BackendBijective the handle holds O(1) state and
+//     Chunk allocates nothing, so n may exceed memory (the suite
+//     streams chunks of an n = 2^40 permutation); on the materializing
+//     backends the handle builds the permutation lazily once and
+//     replays it with buffer reuse.
 //
 // All randomness flows from a single seed through per-block
 // jump-separated xoshiro256++ streams (never bound to OS workers), so
 // every result in this package is deterministic and reproducible, and
 // the shared-memory backends are additionally independent of the worker
-// count.
+// count; the bijective backend is a pure function of (Seed, n).
 package randperm

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"randperm/internal/xrand"
+)
+
+// The bijective backend: instead of moving data through a communication
+// matrix or a merge tree, it *computes* the permutation. A keyed
+// variable-round Feistel network (the philox/Threefry school of
+// counter-based randomness — Salmon et al., SC'11 — crossed with
+// format-preserving encryption's cycle-walking) defines a bijection on
+// the power-of-two superdomain [0, 2^M) covering [0, n); walking the
+// cycle until the image lands back under n restricts it to a bijection
+// on [0, n). Every index is evaluated independently in O(rounds) time
+// and O(1) state, so any chunk of the permutation — a prefix, a shard,
+// a single element — costs only the indexes actually asked for, and
+// chunks parallelize embarrassingly. This is the design behind
+// bandwidth-optimal GPU shuffling (Mitchell et al., "Bandwidth-Optimal
+// Random Shuffling for GPUs", arXiv:2106.06161).
+//
+// Distribution, stated precisely: each key yields one exact permutation
+// of [0, n), and the keyed family is indexed by a 64-bit seed, so at
+// most 2^64 of the n! permutations are reachable — for n >= 21 that is
+// a vanishing fraction, and the family is therefore NOT uniform over
+// S_n. What the family does deliver (and what the chi-square tests in
+// bijective_test.go pin down) is uniform *marginals*: over random
+// seeds, Index(i) is uniform on [0, n) for every i. Callers that need
+// exact uniformity over S_n — the statistical harness, permverify —
+// must gate on Backend.ExactUniform() and use Sim, SharedMem or
+// InPlace.
+
+// bijectiveRounds is the default Feistel depth. Four rounds make a
+// pseudorandom permutation in the Luby-Rackoff sense against
+// polynomially-bounded adversaries, but on the tiny half-widths small
+// domains induce the bias of a shallow network is visible to a plain
+// chi-square; twelve rounds of the 64-bit-mixer round function below
+// leave no measurable marginal bias even on two-bit halves.
+const bijectiveRounds = 12
+
+// Bijection is a keyed bijection on [0, n): a balanced Feistel network
+// over the smallest even-bit-width superdomain [0, 2^M) covering n,
+// restricted to [0, n) by cycle-walking. The zero value is not valid;
+// use NewBijection. A Bijection is immutable after construction, so its
+// methods are safe for concurrent use.
+type Bijection struct {
+	n    int64    // domain size; Index maps [0, n) onto itself
+	half uint     // bit width of each Feistel half (M = 2*half)
+	mask uint64   // half-width mask, 2^half - 1
+	keys []uint64 // per-round keys, expanded from the seed
+	seed uint64   // construction seed, for re-derivation and debugging
+}
+
+// NewBijection returns the bijection on [0, n) selected by seed, with
+// the default round count. n must be non-negative; n <= 1 yields the
+// identity on the trivial domain.
+func NewBijection(n int64, seed uint64) *Bijection {
+	return NewBijectionRounds(n, seed, bijectiveRounds)
+}
+
+// NewBijectionRounds is NewBijection with an explicit Feistel depth
+// (minimum 1), the "variable" in variable-round: tests force shallow
+// networks to expose bias, and latency-critical callers that only need
+// decorrelation, not statistical quality, can trade rounds for speed.
+func NewBijectionRounds(n int64, seed uint64, rounds int) *Bijection {
+	if n < 0 {
+		panic(fmt.Sprintf("engine: NewBijection with negative domain %d", n))
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	b := &Bijection{n: n, seed: seed}
+	// M = 2*ceil(m/2) where m is the bit width of n-1: the smallest
+	// even width whose power-of-two domain covers [0, n). Even width
+	// keeps the Feistel halves balanced; cycle-walking absorbs the
+	// at-most-4x overshoot (2^M < 4n).
+	m := uint(bits.Len64(uint64(max(n-1, 1))))
+	b.half = (m + 1) / 2
+	b.mask = 1<<b.half - 1
+	// Round keys are expanded with SplitMix64, the same seed-expansion
+	// the xoshiro streams use; the bijection consumes no stream draws,
+	// so it coexists with the Jump/LongJump families on any seed.
+	sm := xrand.NewSplitMix64(seed)
+	b.keys = make([]uint64, rounds)
+	for i := range b.keys {
+		b.keys[i] = sm.Uint64()
+	}
+	return b
+}
+
+// N returns the domain size n.
+func (b *Bijection) N() int64 { return b.n }
+
+// Seed returns the seed the bijection was keyed with.
+func (b *Bijection) Seed() uint64 { return b.seed }
+
+// Index maps i to its position under the permutation: the stream
+// backend's contract is out[i] = data[Index(i)]. i must be in [0, n).
+// O(rounds) time, O(1) state, safe for concurrent use.
+func (b *Bijection) Index(i int64) int64 {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("engine: Bijection.Index(%d) outside [0, %d)", i, b.n))
+	}
+	if b.n <= 1 {
+		return i
+	}
+	// Cycle-walking: encrypt is a permutation of the superdomain, so
+	// following its cycle from an in-domain point must revisit the
+	// domain; the first in-domain image defines a permutation of
+	// [0, n). Expected walk length is 2^M/n < 4.
+	x := uint64(i)
+	for {
+		x = b.encrypt(x)
+		if x < uint64(b.n) {
+			return int64(x)
+		}
+	}
+}
+
+// Inverse maps a position back to the index that lands there:
+// Inverse(Index(i)) == i. It walks the inverse cycle with the decrypt
+// direction of the network. y must be in [0, n).
+func (b *Bijection) Inverse(y int64) int64 {
+	if y < 0 || y >= b.n {
+		panic(fmt.Sprintf("engine: Bijection.Inverse(%d) outside [0, %d)", y, b.n))
+	}
+	if b.n <= 1 {
+		return y
+	}
+	x := uint64(y)
+	for {
+		x = b.decrypt(x)
+		if x < uint64(b.n) {
+			return int64(x)
+		}
+	}
+}
+
+// encrypt runs the Feistel network forward over the superdomain.
+func (b *Bijection) encrypt(x uint64) uint64 {
+	l, r := x>>b.half, x&b.mask
+	for _, k := range b.keys {
+		l, r = r, l^(feistelRound(r, k)&b.mask)
+	}
+	return l<<b.half | r
+}
+
+// decrypt runs the network backward: the inverse of encrypt.
+func (b *Bijection) decrypt(x uint64) uint64 {
+	l, r := x>>b.half, x&b.mask
+	for i := len(b.keys) - 1; i >= 0; i-- {
+		l, r = r^(feistelRound(l, b.keys[i])&b.mask), l
+	}
+	return l<<b.half | r
+}
+
+// feistelRound is the round function F(r, k): the SplitMix64 finalizer
+// (Stafford's Mix13 constants) applied to the keyed half. It needs no
+// invertibility — Feistel networks are bijective for any F — only
+// avalanche, which the finalizer's two multiply-xorshift stages supply
+// across the full 64-bit word even when r occupies a few low bits.
+func feistelRound(r, k uint64) uint64 {
+	x := r ^ k
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// PermuteSliceBijective returns the permuted copy of data defined by the
+// keyed bijection on [0, len(data)): out[i] = data[Index(i)]. `chunks`
+// (<= 0 means defaultChunks) sets the decomposition evaluated on the
+// pool; because every index is independent the result is deterministic
+// in (Seed, len(data)) alone — chunks and Options.Workers change only
+// the schedule. The input is not modified.
+func PermuteSliceBijective[T any](data []T, chunks int, opt Options) ([]T, error) {
+	if chunks <= 0 {
+		chunks = defaultChunks
+	}
+	n := int64(len(data))
+	bij := NewBijection(n, opt.Seed)
+	out := make([]T, n)
+	sizes := evenBlocks(n, chunks)
+	off := make([]int64, chunks+1)
+	for c, s := range sizes {
+		off[c+1] = off[c] + s
+	}
+	pool := NewPool(min(opt.workers(), chunks), opt.Seed)
+	defer pool.Close()
+	if err := pool.For(chunks, func(c int) {
+		for i := off[c]; i < off[c+1]; i++ {
+			out[i] = data[bij.Index(i)]
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PermuteBlocksBijective is the block-distributed form: the bijection is
+// taken over the input blocks read in order — out[i] is the Index(i)-th
+// item of the concatenation, located through the blocks' prefix offsets
+// rather than a flattened copy, so the only n-sized allocation is the
+// output itself. The result is split by outSizes; the returned blocks
+// alias one freshly allocated backing slice and the input is not
+// modified.
+func PermuteBlocksBijective[T any](in [][]T, outSizes []int64, opt Options) ([][]T, error) {
+	n, err := blockTotals(in, outSizes)
+	if err != nil {
+		return nil, err
+	}
+	p := len(in)
+	starts := make([]int64, p+1)
+	for b, blk := range in {
+		starts[b+1] = starts[b] + int64(len(blk))
+	}
+	bij := NewBijection(n, opt.Seed)
+	out := make([]T, n)
+	sizes := evenBlocks(n, p)
+	off := make([]int64, p+1)
+	for c, s := range sizes {
+		off[c+1] = off[c] + s
+	}
+	pool := NewPool(min(opt.workers(), p), opt.Seed)
+	defer pool.Close()
+	if err := pool.For(p, func(c int) {
+		for i := off[c]; i < off[c+1]; i++ {
+			j := bij.Index(i)
+			// The source blocks' offsets are sorted; binary-search the
+			// block holding global index j (p <= sqrt(n), so log p is
+			// noise against the Feistel evaluation).
+			b := sort.Search(p, func(b int) bool { return starts[b+1] > j })
+			out[i] = in[b][j-starts[b]]
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return splitBlocks(out, outSizes), nil
+}

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"testing"
+
+	"randperm/internal/stats"
+)
+
+// TestBijectionIsPermutation: for a spread of domain sizes — powers of
+// two, one off either side, primes, tiny — Index must hit every value
+// of [0, n) exactly once and Inverse must undo it.
+func TestBijectionIsPermutation(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 3, 5, 17, 64, 65, 100, 127, 128, 129, 1000, 4096, 10007} {
+		b := NewBijection(n, 42)
+		seen := make([]bool, n)
+		for i := int64(0); i < n; i++ {
+			y := b.Index(i)
+			if y < 0 || y >= n {
+				t.Fatalf("n=%d: Index(%d) = %d outside domain", n, i, y)
+			}
+			if seen[y] {
+				t.Fatalf("n=%d: Index maps two inputs to %d", n, y)
+			}
+			seen[y] = true
+			if inv := b.Inverse(y); inv != i {
+				t.Fatalf("n=%d: Inverse(Index(%d)) = %d", n, i, inv)
+			}
+		}
+	}
+}
+
+// TestBijectionRoundsStillBijective: any round count, including a
+// deliberately shallow single round, must still be a permutation —
+// bijectivity comes from the Feistel structure, not the depth.
+func TestBijectionRoundsStillBijective(t *testing.T) {
+	for _, rounds := range []int{1, 2, 4, 12, 32} {
+		const n = 777
+		b := NewBijectionRounds(n, 9, rounds)
+		seen := make([]bool, n)
+		for i := int64(0); i < n; i++ {
+			y := b.Index(i)
+			if seen[y] {
+				t.Fatalf("rounds=%d: collision at %d", rounds, y)
+			}
+			seen[y] = true
+		}
+	}
+}
+
+// TestBijectionDeterminism: the map is a pure function of (n, seed),
+// and distinct seeds give distinct maps (up to astronomically unlikely
+// key collisions on a domain this size).
+func TestBijectionDeterminism(t *testing.T) {
+	const n = 5000
+	a, b := NewBijection(n, 7), NewBijection(n, 7)
+	c := NewBijection(n, 8)
+	same := true
+	for i := int64(0); i < n; i++ {
+		if a.Index(i) != b.Index(i) {
+			t.Fatalf("same seed, different map at %d", i)
+		}
+		if a.Index(i) != c.Index(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced the identical permutation")
+	}
+	if a.N() != n || a.Seed() != 7 {
+		t.Fatalf("accessors: N=%d Seed=%d", a.N(), a.Seed())
+	}
+}
+
+// TestBijectionFamilyUniform is the distribution claim of the backend,
+// stated and tested precisely: over random keys, the marginal Index(i)
+// is uniform on [0, n) for every fixed i. (The family is NOT uniform
+// over S_n — with 2^64 keys it cannot be for n >= 21 — so this marginal
+// law, not permutation-level uniformity, is the stated contract;
+// exactness-sensitive callers gate on Backend.ExactUniform.)
+func TestBijectionFamilyUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		n      = 100
+		trials = 40000
+	)
+	// Three probe positions: first, middle, last.
+	for _, probe := range []int64{0, n / 2, n - 1} {
+		counts := make([]int64, n)
+		for s := 0; s < trials; s++ {
+			b := NewBijection(n, 0xB1EC+uint64(s)*0x9E3779B97F4A7C15)
+			counts[b.Index(probe)]++
+		}
+		res, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(1e-4) {
+			t.Errorf("probe %d: marginal not uniform: %v", probe, res)
+		}
+	}
+}
+
+// TestBijectionPairDecorrelation: beyond marginals, the joint of two
+// positions should spread over ordered pairs with the law a uniform
+// random permutation induces: P(Index(0)=a, Index(1)=b) = 1/(n(n-1))
+// for a != b. A shallow network fails this; the default depth must not.
+func TestBijectionPairDecorrelation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		n      = 12
+		trials = 60000
+	)
+	counts := make([]int64, n*n)
+	for s := 0; s < trials; s++ {
+		b := NewBijection(n, 0xCAFE+uint64(s)*0x9E3779B97F4A7C15)
+		counts[b.Index(0)*n+b.Index(1)]++
+	}
+	// Collapse to the off-diagonal cells (diagonal is structurally 0).
+	var offDiag []int64
+	for a := 0; a < n; a++ {
+		for bb := 0; bb < n; bb++ {
+			if a != bb {
+				offDiag = append(offDiag, counts[a*n+bb])
+			}
+			if a == bb && counts[a*n+bb] != 0 {
+				t.Fatalf("Index(0) == Index(1) == %d occurred", a)
+			}
+		}
+	}
+	res, err := stats.ChiSquareUniform(offDiag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(1e-4) {
+		t.Errorf("pair law not uniform over ordered pairs: %v", res)
+	}
+}
+
+// TestPermuteSliceBijectiveValidity: the engine entry point must
+// produce a permutation of the input, leave the input untouched, and be
+// deterministic in the seed while independent of chunks and workers.
+func TestPermuteSliceBijectiveValidity(t *testing.T) {
+	const n = 4097
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	var want []int64
+	for _, chunks := range []int{1, 3, 16} {
+		for _, workers := range []int{1, 4} {
+			out, err := PermuteSliceBijective(data, chunks, Options{Workers: workers, Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make([]bool, n)
+			for _, v := range out {
+				if v < 0 || v >= n || seen[v] {
+					t.Fatalf("chunks=%d: not a permutation at %d", chunks, v)
+				}
+				seen[v] = true
+			}
+			if want == nil {
+				want = out
+				continue
+			}
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("chunks=%d workers=%d: output differs at %d", chunks, workers, i)
+				}
+			}
+		}
+	}
+	for i := range data {
+		if data[i] != int64(i) {
+			t.Fatal("input modified")
+		}
+	}
+}
+
+// TestPermuteBlocksBijective: the block form must redistribute exactly
+// and reject mismatched totals.
+func TestPermuteBlocksBijective(t *testing.T) {
+	in := [][]int64{{0, 1, 2}, {3, 4}, {5, 6, 7, 8}}
+	out, err := PermuteBlocksBijective(in, []int64{4, 4, 1}, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 9)
+	total := 0
+	for j, blk := range out {
+		if len(blk) != []int{4, 4, 1}[j] {
+			t.Fatalf("block %d has size %d", j, len(blk))
+		}
+		for _, v := range blk {
+			seen[v] = true
+			total++
+		}
+	}
+	if total != 9 {
+		t.Fatalf("total %d", total)
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d lost", v)
+		}
+	}
+	if _, err := PermuteBlocksBijective(in, []int64{4, 4}, Options{}); err == nil {
+		t.Error("mismatched totals accepted")
+	}
+	if _, err := PermuteBlocksBijective([][]int64{}, nil, Options{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := PermuteBlocksBijective(in, []int64{-1, 10}, Options{}); err == nil {
+		t.Error("negative target size accepted")
+	}
+}

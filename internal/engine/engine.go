@@ -32,14 +32,23 @@
 //     it is the backend for memory-bound workloads and the template for
 //     future NUMA/distributed backends.
 //
+//   - Bijective (bijective.go) does not move data at all: a keyed
+//     variable-round Feistel network with cycle-walking defines the
+//     permutation as a function, evaluated independently per index in
+//     O(1) state. It is the backend behind the streaming Permuter API —
+//     any chunk of the permutation costs only the indexes asked for —
+//     and the one backend that is NOT exactly uniform over S_n: it is a
+//     keyed family with uniform marginals (see bijective.go for the
+//     precise statement).
+//
 // All shared-memory phases dispatch onto one Pool (pool.go) of
 // long-lived worker goroutines per engine call; randomness stays bound
-// to blocks and merge-tree nodes, never to workers, so every backend's
-// output is deterministic in the seed and independent of the worker
-// count (the determinism contract in ARCHITECTURE.md).
+// to blocks, merge-tree nodes and index ranges, never to workers, so
+// every backend's output is deterministic in the seed and independent
+// of the worker count (the determinism contract in ARCHITECTURE.md).
 //
-// All backends produce exactly uniform permutations; they differ only
-// in how data moves and what gets accounted.
+// Sim, SharedMem and InPlace produce exactly uniform permutations;
+// Bijective trades exactness over S_n for O(1)-state random access.
 package engine
 
 import "fmt"
@@ -98,6 +107,10 @@ const (
 	// InPlace is the MergeShuffle-style divide-and-conquer in-place
 	// engine (inplace.go): no label arrays, no second buffer.
 	InPlace
+	// Bijective is the keyed-Feistel computed-permutation engine
+	// (bijective.go): O(1) state per index, streamable, not exactly
+	// uniform over S_n.
+	Bijective
 )
 
 // String names the backend for tables and flags.
@@ -109,6 +122,8 @@ func (b Backend) String() string {
 		return "shmem"
 	case InPlace:
 		return "inplace"
+	case Bijective:
+		return "bijective"
 	default:
 		return fmt.Sprintf("Backend(%d)", int(b))
 	}
@@ -123,6 +138,8 @@ func ParseBackend(s string) (Backend, bool) {
 		return SharedMem, true
 	case "inplace", "in-place", "mergeshuffle":
 		return InPlace, true
+	case "bijective", "feistel":
+		return Bijective, true
 	}
 	return 0, false
 }

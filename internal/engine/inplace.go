@@ -115,37 +115,15 @@ func PermuteSliceInPlace[T any](data []T, blocks int, opt Options) ([]T, error) 
 // The returned blocks alias the one backing slice; the input is not
 // modified.
 func PermuteBlocksInPlace[T any](in [][]T, outSizes []int64, opt Options) ([][]T, error) {
-	if len(in) == 0 {
-		return nil, fmt.Errorf("engine: need at least one input block")
+	n, err := blockTotals(in, outSizes)
+	if err != nil {
+		return nil, err
 	}
-	var n int64
-	for _, b := range in {
-		n += int64(len(b))
-	}
-	var outN int64
-	for _, s := range outSizes {
-		if s < 0 {
-			return nil, fmt.Errorf("engine: negative target block size %d", s)
-		}
-		outN += s
-	}
-	if n != outN {
-		return nil, fmt.Errorf("engine: source total %d != target total %d", n, outN)
-	}
-	flat := make([]T, 0, n)
-	for _, b := range in {
-		flat = append(flat, b...)
-	}
+	flat := flattenBlocks(in, n)
 	if err := ShuffleInPlace(flat, len(in), opt); err != nil {
 		return nil, err
 	}
-	out := make([][]T, len(outSizes))
-	var run int64
-	for j, s := range outSizes {
-		out[j] = flat[run : run+s : run+s]
-		run += s
-	}
-	return out, nil
+	return splitBlocks(flat, outSizes), nil
 }
 
 // mergeShuffle merges two adjacent uniformly shuffled runs a[:mid] and

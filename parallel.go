@@ -37,10 +37,30 @@ const (
 	// — so beyond the API's single input copy the footprint is O(p).
 	// Same uniform distribution; the Report carries only Procs.
 	BackendInPlace
+	// BackendBijective computes the permutation instead of constructing
+	// it: a keyed variable-round Feistel bijection with cycle-walking
+	// (internal/engine/bijective.go) maps each output index to a source
+	// index in O(1) state, so any chunk of the result costs only the
+	// indexes actually evaluated. It is the backend behind the streaming
+	// Permuter API and the only backend that is NOT exactly uniform over
+	// S_n: each Seed selects one exact permutation from a 2^64-key
+	// family whose single-position marginals are uniform (chi-squared in
+	// the test suite), but for n >= 21 most of the n! permutations are
+	// unreachable. Gate exactness-sensitive callers on ExactUniform.
+	// The Report carries only Procs.
+	BackendBijective
 )
 
-// String names the backend ("sim", "shmem" or "inplace").
+// String names the backend ("sim", "shmem", "inplace" or "bijective").
 func (b Backend) String() string { return b.internal().String() }
+
+// ExactUniform reports whether the backend draws from the exactly
+// uniform distribution over all n! permutations. It is false only for
+// BackendBijective, whose keyed-family distribution is documented on
+// the constant; statistical tooling (the experiment harness, permverify
+// and any caller whose correctness depends on exact uniformity) must
+// check this gate before accepting a backend.
+func (b Backend) ExactUniform() bool { return b != BackendBijective }
 
 func (b Backend) internal() engine.Backend {
 	switch b {
@@ -48,23 +68,27 @@ func (b Backend) internal() engine.Backend {
 		return engine.SharedMem
 	case BackendInPlace:
 		return engine.InPlace
+	case BackendBijective:
+		return engine.Bijective
 	default:
 		return engine.Sim
 	}
 }
 
-// ParseBackend converts a flag value ("sim", "shmem", "inplace") into a
-// Backend.
+// ParseBackend converts a flag value ("sim", "shmem", "inplace",
+// "bijective") into a Backend.
 func ParseBackend(s string) (Backend, error) {
 	eb, ok := engine.ParseBackend(s)
 	if !ok {
-		return 0, fmt.Errorf("randperm: unknown backend %q (want sim, shmem or inplace)", s)
+		return 0, fmt.Errorf("randperm: unknown backend %q (want sim, shmem, inplace or bijective)", s)
 	}
 	switch eb {
 	case engine.SharedMem:
 		return BackendSharedMem, nil
 	case engine.InPlace:
 		return BackendInPlace, nil
+	case engine.Bijective:
+		return BackendBijective, nil
 	default:
 		return BackendSim, nil
 	}
@@ -105,8 +129,10 @@ type Options struct {
 	// Procs is the decomposition width p: the number of simulated
 	// processors on the Sim backend, the number of blocks on the
 	// SharedMem and InPlace backends (default 8; InPlace rounds it up
-	// to a power of two for its merge tree). The paper's coarseness
-	// assumption is p <= sqrt(n).
+	// to a power of two for its merge tree), and the scheduling chunk
+	// count on the Bijective backend (where it cannot affect the
+	// output: every index is computed independently). The paper's
+	// coarseness assumption is p <= sqrt(n).
 	Procs int
 	// Seed drives all randomness; runs are reproducible in it.
 	Seed uint64
@@ -117,11 +143,12 @@ type Options struct {
 	Matrix MatrixAlg
 	// Backend selects the execution engine (default BackendSim).
 	Backend Backend
-	// Parallelism caps the worker-pool goroutines of the SharedMem and
-	// InPlace backends (default GOMAXPROCS). It does not affect the
-	// result: both backends bind randomness to blocks and merge-tree
-	// nodes rather than to workers, so their output is deterministic in
-	// (Seed, Procs) alone. The Sim backend ignores it and always runs
+	// Parallelism caps the worker-pool goroutines of the SharedMem,
+	// InPlace and Bijective backends (default GOMAXPROCS). It does not
+	// affect the result: those backends bind randomness to blocks,
+	// merge-tree nodes and index ranges rather than to workers, so
+	// their output is deterministic in (Seed, Procs) alone — Bijective
+	// in (Seed, n) alone. The Sim backend ignores it and always runs
 	// one goroutine per simulated processor.
 	Parallelism int
 }
@@ -138,8 +165,9 @@ func (o Options) withDefaults() Options {
 
 // Report summarizes the resources one parallel run consumed, the
 // quantities bounded by Theorem 1 of the paper. Only the Sim backend
-// simulates the machine these quantities live on; SharedMem and InPlace
-// runs fill in Procs and leave the accounting fields zero.
+// simulates the machine these quantities live on; SharedMem, InPlace
+// and Bijective runs fill in Procs and leave the accounting fields
+// zero.
 type Report struct {
 	Procs      int   // machine size p
 	Supersteps int   // number of BSP supersteps
@@ -166,8 +194,8 @@ func reportFrom(m *pro.Machine) Report {
 // ParallelShuffle returns a uniformly shuffled copy of data, computed by
 // the paper's Algorithm 1 on the selected backend (by default, opt.Procs
 // simulated processors), together with the resource report - fully
-// populated on BackendSim, Procs-only on BackendSharedMem. The input is
-// not modified.
+// populated on BackendSim, Procs-only on the other backends. The input
+// is not modified.
 func ParallelShuffle[T any](data []T, opt Options) ([]T, Report, error) {
 	opt = opt.withDefaults()
 	if opt.Procs < 1 {
@@ -185,6 +213,15 @@ func ParallelShuffle[T any](data []T, opt Options) ([]T, Report, error) {
 		return out, Report{Procs: opt.Procs}, nil
 	case BackendInPlace:
 		out, err := engine.PermuteSliceInPlace(data, opt.Procs, engine.Options{
+			Workers: opt.Parallelism,
+			Seed:    opt.Seed,
+		})
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{Procs: opt.Procs}, nil
+	case BackendBijective:
+		out, err := engine.PermuteSliceBijective(data, opt.Procs, engine.Options{
 			Workers: opt.Parallelism,
 			Seed:    opt.Seed,
 		})
@@ -222,6 +259,15 @@ func ParallelShuffleBlocks[T any](blocks [][]T, targetSizes []int64, opt Options
 		return out, Report{Procs: len(blocks)}, nil
 	case BackendInPlace:
 		out, err := engine.PermuteBlocksInPlace(blocks, targetSizes, engine.Options{
+			Workers: opt.Parallelism,
+			Seed:    opt.Seed,
+		})
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{Procs: len(blocks)}, nil
+	case BackendBijective:
+		out, err := engine.PermuteBlocksBijective(blocks, targetSizes, engine.Options{
 			Workers: opt.Parallelism,
 			Seed:    opt.Seed,
 		})

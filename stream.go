@@ -1,0 +1,200 @@
+package randperm
+
+import (
+	"fmt"
+	"iter"
+	"sync"
+
+	"randperm/internal/engine"
+)
+
+// A Permuter is a reusable handle on one fixed permutation of
+// [0, n): the streaming form of the package's API. Where
+// ParallelShuffle materializes an entire permuted slice in one call, a
+// Permuter hands out the permutation chunk by chunk — a page of
+// results, a shard of an ID space, a single position — so callers can
+// walk data far larger than any one machine's memory, the coarse
+// grained setting the source paper starts from.
+//
+// The handle amortizes setup across calls. On BackendBijective the
+// permutation is never materialized at all: a keyed Feistel bijection
+// (built once in NewPermuter) computes each position in O(1) state, so
+// Chunk fills its destination with zero allocations regardless of n,
+// and n may exceed available memory by any factor. On the three
+// materializing backends (Sim, SharedMem, InPlace) the handle builds
+// the full permutation lazily on first use — one n-word buffer, built
+// once with the selected backend's engine and reused by every
+// subsequent Chunk, Iter and At.
+//
+// Determinism: the permutation a Permuter exposes is a pure function of
+// (Backend, Seed, Procs, n) — on BackendBijective, of (Seed, n) alone —
+// and is independent of Parallelism, of chunk boundaries, and of how
+// many times or in what order the chunks are pulled. Pulling chunk
+// [a, b) today and chunk [b, c) tomorrow yields exactly the
+// concatenation a single [a, c) pull would have.
+//
+// Concurrency: Chunk, At, Iter and Len are safe for concurrent use —
+// on BackendBijective they are pure computation, and the materializing
+// backends build under a sync.Once and only read afterwards. Reset is
+// the one exception: it re-keys the handle and must not run
+// concurrently with any other method.
+//
+// Distribution: the Permuter inherits its backend's distribution.
+// Sim, SharedMem and InPlace draw from the exactly uniform law over all
+// n! permutations; BackendBijective draws from a 2^64-key family with
+// uniform single-position marginals (the precise statement lives on the
+// BackendBijective constant). Check Options.Backend.ExactUniform when
+// exactness matters.
+type Permuter struct {
+	n   int64
+	opt Options
+	bij *engine.Bijection // non-nil iff opt.Backend == BackendBijective
+	mat *permMat          // lazily-built state of the materializing backends
+}
+
+// permMat is the lazily-materialized permutation; a fresh one is
+// installed by Reset so the sync.Once can be re-armed.
+type permMat struct {
+	once sync.Once
+	perm []int64
+	err  error
+}
+
+// NewPermuter validates the options and returns a handle on the
+// permutation of [0, n) they select. The call is cheap for every
+// backend: key expansion on BackendBijective, and nothing but
+// validation on the materializing backends, which defer their n-word
+// build to the first access. n must be non-negative, and on the
+// materializing backends must fit in memory when first accessed;
+// BackendBijective has no such bound (n up to 2^62 is meaningful).
+func NewPermuter(n int64, opt Options) (*Permuter, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("randperm: NewPermuter with negative length %d", n)
+	}
+	opt = opt.withDefaults()
+	if opt.Procs < 1 {
+		return nil, fmt.Errorf("randperm: Procs must be positive, got %d", opt.Procs)
+	}
+	p := &Permuter{n: n, opt: opt}
+	if opt.Backend == BackendBijective {
+		p.bij = engine.NewBijection(n, opt.Seed)
+	} else {
+		p.mat = &permMat{}
+	}
+	return p, nil
+}
+
+// Len returns the length n of the permuted index space.
+func (p *Permuter) Len() int64 { return p.n }
+
+// Backend returns the backend the permutation is computed on.
+func (p *Permuter) Backend() Backend { return p.opt.Backend }
+
+// Chunk fills dst with consecutive positions of the permutation
+// starting at start — dst[k] = π(start+k) — and returns how many values
+// were written: min(len(dst), Len()-start), so a short count (with a
+// nil error) signals the end of the index space. start must be in
+// [0, Len()]. On BackendBijective the call performs no allocation and
+// touches O(1) state per value; on the materializing backends the first
+// Chunk (or At or Iter) across the handle's lifetime builds the full
+// permutation once and every call after that is a copy. Chunk is safe
+// for concurrent use, including overlapping ranges.
+func (p *Permuter) Chunk(dst []int64, start int64) (int, error) {
+	if start < 0 || start > p.n {
+		return 0, fmt.Errorf("randperm: Chunk start %d outside [0, %d]", start, p.n)
+	}
+	m := int64(len(dst))
+	if rest := p.n - start; rest < m {
+		m = rest
+	}
+	if p.bij != nil {
+		for k := int64(0); k < m; k++ {
+			dst[k] = p.bij.Index(start + k)
+		}
+		return int(m), nil
+	}
+	perm, err := p.materialize()
+	if err != nil {
+		return 0, err
+	}
+	copy(dst[:m], perm[start:start+m])
+	return int(m), nil
+}
+
+// At returns π(i), the single position i of the permutation. i must be
+// in [0, Len()). O(1) on BackendBijective; on the materializing
+// backends it triggers the same one-time build as Chunk.
+func (p *Permuter) At(i int64) int64 {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("randperm: Permuter.At(%d) outside [0, %d)", i, p.n))
+	}
+	if p.bij != nil {
+		return p.bij.Index(i)
+	}
+	perm, err := p.materialize()
+	if err != nil {
+		panic(err)
+	}
+	return perm[i]
+}
+
+// Iter returns a Go 1.23+ range-over-func iterator yielding
+// π(0), π(1), …, π(n-1) in order:
+//
+//	for v := range p.Iter() { ... }
+//
+// Early break is honored. On BackendBijective the iteration holds O(1)
+// state; on the materializing backends it reads the one lazily-built
+// permutation (and panics in the vanishingly unlikely case that build
+// fails — callers that must handle that error should pull through Chunk
+// instead).
+func (p *Permuter) Iter() iter.Seq[int64] {
+	return func(yield func(int64) bool) {
+		if p.bij != nil {
+			for i := int64(0); i < p.n; i++ {
+				if !yield(p.bij.Index(i)) {
+					return
+				}
+			}
+			return
+		}
+		perm, err := p.materialize()
+		if err != nil {
+			panic(err)
+		}
+		for _, v := range perm {
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
+
+// Reset re-keys the handle to a new seed, as if it had been constructed
+// with NewPermuter(Len(), opt-with-new-Seed): the bijection is re-keyed
+// in place and any materialized permutation is dropped and lazily
+// rebuilt on next access. Reset must not be called concurrently with
+// any other method on the handle.
+func (p *Permuter) Reset(seed uint64) {
+	p.opt.Seed = seed
+	if p.opt.Backend == BackendBijective {
+		p.bij = engine.NewBijection(p.n, seed)
+		return
+	}
+	p.mat = &permMat{}
+}
+
+// materialize builds (once) and returns the full permutation for the
+// materializing backends, by running the selected backend's engine over
+// the identity. Racing callers all observe the completed build.
+func (p *Permuter) materialize() ([]int64, error) {
+	m := p.mat
+	m.once.Do(func() {
+		id := make([]int64, p.n)
+		for i := range id {
+			id[i] = int64(i)
+		}
+		m.perm, _, m.err = ParallelShuffle(id, p.opt)
+	})
+	return m.perm, m.err
+}

@@ -1,0 +1,87 @@
+package randperm_test
+
+import (
+	"fmt"
+
+	"randperm"
+)
+
+// A Permuter is the streaming form of ParallelShuffle: a handle on one
+// fixed permutation of [0, n) that hands out any chunk on demand. On
+// BackendBijective nothing is ever materialized, so n may be far larger
+// than memory — here a permutation of a trillion indexes costs a few
+// round keys.
+func ExampleNewPermuter() {
+	pm, err := randperm.NewPermuter(1_000_000_000_000, randperm.Options{
+		Seed:    42,
+		Backend: randperm.BackendBijective,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// One position of the trillion-element permutation, in O(1).
+	v := pm.At(999_999_999_999)
+	fmt.Println(pm.Len(), v >= 0 && v < pm.Len())
+	// Output: 1000000000000 true
+}
+
+// Chunk pulls consecutive positions of the permutation into a
+// caller-owned buffer: dst[k] = π(start+k). Pulling in pages is
+// equivalent to one big pull — chunk boundaries never change the
+// permutation — and a short count signals the end of the index space.
+func ExamplePermuter_Chunk() {
+	pm, err := randperm.NewPermuter(10, randperm.Options{
+		Seed:    7,
+		Backend: randperm.BackendBijective,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var page [4]int64
+	var got []int64
+	for start := int64(0); ; {
+		n, err := pm.Chunk(page[:], start)
+		if err != nil {
+			panic(err)
+		}
+		if n == 0 {
+			break
+		}
+		got = append(got, page[:n]...)
+		start += int64(n)
+	}
+	// The pages assemble into a permutation of 0..9.
+	var sum int64
+	for _, v := range got {
+		sum += v
+	}
+	fmt.Println(len(got), sum)
+	// Output: 10 45
+}
+
+// Iter exposes the permutation as a Go range-over-func iterator. The
+// same handle works on every backend: here the exactly-uniform InPlace
+// engine materializes the permutation lazily on first use, and the
+// iterator replays it.
+func ExamplePermuter_Iter() {
+	pm, err := randperm.NewPermuter(6, randperm.Options{
+		Procs:   2,
+		Seed:    3,
+		Backend: randperm.BackendInPlace,
+	})
+	if err != nil {
+		panic(err)
+	}
+	seen := make([]bool, pm.Len())
+	count := 0
+	for v := range pm.Iter() {
+		seen[v] = true
+		count++
+	}
+	all := true
+	for _, ok := range seen {
+		all = all && ok
+	}
+	fmt.Println(count, all)
+	// Output: 6 true
+}

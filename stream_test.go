@@ -1,0 +1,322 @@
+// stream_test.go covers the streaming surface: a Permuter must expose
+// exactly the permutation its backend's materializing path applies —
+// chunk by chunk, position by position, or as one iterator — with
+// determinism across chunk boundaries and worker counts, safe
+// concurrent pulls, and (on BackendBijective) no allocation at all.
+package randperm_test
+
+import (
+	"sync"
+	"testing"
+
+	"randperm"
+)
+
+var allBackends = []randperm.Backend{
+	randperm.BackendSim,
+	randperm.BackendSharedMem,
+	randperm.BackendInPlace,
+	randperm.BackendBijective,
+}
+
+// TestPermuterMatchesShuffle: for every backend, the streamed
+// permutation must satisfy out[i] = data[π(i)] against the same
+// options' ParallelShuffle — the consistency contract that makes Chunk
+// a drop-in replay of a materialized run.
+func TestPermuterMatchesShuffle(t *testing.T) {
+	const n = 5000
+	optFor := func(b randperm.Backend) randperm.Options {
+		return randperm.Options{Procs: 4, Seed: 11, Backend: b}
+	}
+	for _, backend := range allBackends {
+		data := iotaInt64(n)
+		out, _, err := randperm.ParallelShuffle(data, optFor(backend))
+		if err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+		pm, err := randperm.NewPermuter(n, optFor(backend))
+		if err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+		if pm.Len() != n || pm.Backend() != backend {
+			t.Fatalf("%v: Len=%d Backend=%v", backend, pm.Len(), pm.Backend())
+		}
+		// Full pull in one chunk.
+		got := make([]int64, n)
+		if m, err := pm.Chunk(got, 0); err != nil || m != n {
+			t.Fatalf("%v: Chunk = %d, %v", backend, m, err)
+		}
+		for i := range out {
+			if out[i] != data[got[i]] {
+				t.Fatalf("%v: out[%d] = %d, data[π(%d)] = %d", backend, i, out[i], i, data[got[i]])
+			}
+		}
+		// Iter agrees with Chunk, and early break works.
+		i := int64(0)
+		for v := range pm.Iter() {
+			if v != got[i] {
+				t.Fatalf("%v: Iter[%d] = %d, Chunk said %d", backend, i, v, got[i])
+			}
+			i++
+			if i == n/2 {
+				break
+			}
+		}
+		if i != n/2 {
+			t.Fatalf("%v: early break yielded %d values", backend, i)
+		}
+		// At agrees pointwise on a sample.
+		for _, idx := range []int64{0, 1, n / 3, n - 1} {
+			if pm.At(idx) != got[idx] {
+				t.Fatalf("%v: At(%d) = %d, want %d", backend, idx, pm.At(idx), got[idx])
+			}
+		}
+	}
+}
+
+// TestPermuterChunkBoundaries: reassembling the permutation from
+// chunks of any size — including ragged final chunks and single-element
+// pulls — must be independent of the chunking, for every backend and
+// worker count.
+func TestPermuterChunkBoundaries(t *testing.T) {
+	const n = 2377 // prime, so every chunk size is ragged
+	for _, backend := range allBackends {
+		var want []int64
+		for _, chunkSize := range []int{n, 1000, 64, 7, 1} {
+			for _, par := range []int{1, 3} {
+				pm, err := randperm.NewPermuter(n, randperm.Options{
+					Procs: 4, Seed: 23, Backend: backend, Parallelism: par,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := make([]int64, 0, n)
+				buf := make([]int64, chunkSize)
+				for start := int64(0); ; {
+					m, err := pm.Chunk(buf, start)
+					if err != nil {
+						t.Fatalf("%v chunk=%d: %v", backend, chunkSize, err)
+					}
+					if m == 0 {
+						break
+					}
+					got = append(got, buf[:m]...)
+					start += int64(m)
+				}
+				if len(got) != n {
+					t.Fatalf("%v chunk=%d: assembled %d values", backend, chunkSize, len(got))
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%v chunk=%d par=%d: differs at %d", backend, chunkSize, par, i)
+					}
+				}
+			}
+		}
+		// And it is a permutation.
+		seen := make([]bool, n)
+		for _, v := range want {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("%v: not a permutation at %d", backend, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestPermuterConcurrentChunk: many goroutines pulling overlapping
+// chunks from one handle — the -race coverage the streaming contract
+// promises. The materializing backends race on the lazy build; the
+// bijective backend races on nothing but must still agree.
+func TestPermuterConcurrentChunk(t *testing.T) {
+	const (
+		n          = 20000
+		goroutines = 8
+		chunk      = 512
+	)
+	for _, backend := range allBackends {
+		pm, err := randperm.NewPermuter(n, randperm.Options{
+			Procs: 4, Seed: 31, Backend: backend,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]int64, n)
+		if _, err := pm.Chunk(want, 0); err != nil {
+			t.Fatal(err)
+		}
+		pm.Reset(77) // re-key so the concurrent pulls also race the rebuild
+		want = make([]int64, n)
+		results := make([][]int64, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				out := make([]int64, 0, n)
+				buf := make([]int64, chunk)
+				// Each goroutine starts at a different offset and wraps,
+				// so ranges overlap between goroutines.
+				startAt := int64(g) * (n / goroutines)
+				for pulled := int64(0); pulled < n; {
+					start := (startAt + pulled) % n
+					m := chunk
+					if rem := n - start; rem < int64(m) {
+						m = int(rem)
+					}
+					mm, err := pm.Chunk(buf[:m], start)
+					if err != nil || mm != m {
+						t.Errorf("%v g=%d: Chunk = %d, %v", backend, g, mm, err)
+						return
+					}
+					out = append(out, buf[:mm]...)
+					pulled += int64(mm)
+				}
+				results[g] = out
+			}(g)
+		}
+		wg.Wait()
+		if _, err := pm.Chunk(want, 0); err != nil {
+			t.Fatal(err)
+		}
+		for g, out := range results {
+			if out == nil {
+				t.Fatalf("%v: goroutine %d failed", backend, g)
+			}
+			startAt := int64(g) * (n / goroutines)
+			for k, v := range out {
+				if v != want[(startAt+int64(k))%n] {
+					t.Fatalf("%v g=%d: position %d disagrees", backend, g, k)
+				}
+			}
+		}
+	}
+}
+
+// TestPermuterBijectiveNoAlloc is the acceptance check of the streaming
+// subsystem: on BackendBijective a Permuter over an index space of
+// 2^40 — eight terabytes if it were materialized — serves a 1e6-index
+// chunk range with zero allocations per call, proving no n-sized buffer
+// ever exists.
+func TestPermuterBijectiveNoAlloc(t *testing.T) {
+	const n = int64(1) << 40
+	pm, err := randperm.NewPermuter(n, randperm.Options{
+		Seed: 5, Backend: randperm.BackendBijective,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int64, 1_000_000)
+	start := n/2 - 500_000
+	allocs := testing.AllocsPerRun(3, func() {
+		m, err := pm.Chunk(dst, start)
+		if err != nil || m != len(dst) {
+			t.Fatalf("Chunk = %d, %v", m, err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Chunk allocated %v times per call; want 0", allocs)
+	}
+	// The chunk really is a slice of a permutation of [0, 2^40): values
+	// in range, no duplicates within the chunk, and each position
+	// round-trips through the pointwise accessor.
+	seen := make(map[int64]bool, len(dst))
+	for k, v := range dst {
+		if v < 0 || v >= n {
+			t.Fatalf("dst[%d] = %d outside domain", k, v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate value %d within chunk", v)
+		}
+		seen[v] = true
+		if k < 16 && pm.At(start+int64(k)) != v {
+			t.Fatalf("At(%d) = %d, Chunk said %d", start+int64(k), pm.At(start+int64(k)), v)
+		}
+	}
+}
+
+// TestPermuterReset: re-keying yields the same permutation a fresh
+// handle with the new seed yields, on every backend.
+func TestPermuterReset(t *testing.T) {
+	const n = 1000
+	for _, backend := range allBackends {
+		opt := randperm.Options{Procs: 4, Seed: 1, Backend: backend}
+		pm, err := randperm.NewPermuter(n, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := make([]int64, n)
+		pm.Chunk(first, 0)
+		pm.Reset(2)
+		reset := make([]int64, n)
+		pm.Chunk(reset, 0)
+		opt.Seed = 2
+		fresh, err := randperm.NewPermuter(n, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]int64, n)
+		fresh.Chunk(want, 0)
+		same := true
+		for i := range reset {
+			if reset[i] != want[i] {
+				t.Fatalf("%v: Reset(2) differs from fresh seed-2 handle at %d", backend, i)
+			}
+			if reset[i] != first[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Errorf("%v: Reset(2) produced the seed-1 permutation", backend)
+		}
+	}
+}
+
+// TestPermuterErrors: constructor and Chunk validation, and the
+// zero-length edge.
+func TestPermuterErrors(t *testing.T) {
+	if _, err := randperm.NewPermuter(-1, randperm.Options{}); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := randperm.NewPermuter(10, randperm.Options{Procs: -2}); err == nil {
+		t.Error("negative Procs accepted")
+	}
+	pm, err := randperm.NewPermuter(10, randperm.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int64, 4)
+	if _, err := pm.Chunk(buf, -1); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := pm.Chunk(buf, 11); err == nil {
+		t.Error("start past the end accepted")
+	}
+	if m, err := pm.Chunk(buf, 10); err != nil || m != 0 {
+		t.Errorf("Chunk at Len() = %d, %v; want 0, nil", m, err)
+	}
+	if m, err := pm.Chunk(buf, 8); err != nil || m != 2 {
+		t.Errorf("ragged tail Chunk = %d, %v; want 2, nil", m, err)
+	}
+	empty, err := randperm.NewPermuter(0, randperm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := empty.Chunk(buf, 0); err != nil || m != 0 {
+		t.Errorf("empty Chunk = %d, %v", m, err)
+	}
+	for range empty.Iter() {
+		t.Error("empty Iter yielded a value")
+	}
+	// ExactUniform gates exactly the bijective backend.
+	for _, backend := range allBackends {
+		want := backend != randperm.BackendBijective
+		if backend.ExactUniform() != want {
+			t.Errorf("%v.ExactUniform() = %v", backend, backend.ExactUniform())
+		}
+	}
+}
