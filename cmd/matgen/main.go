@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -23,25 +25,39 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main behind testable plumbing: parse args, sample, print.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("matgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		rows    = flag.String("rows", "4,4,4", "comma-separated source block sizes")
-		cols    = flag.String("cols", "", "comma-separated target block sizes (default: same as rows)")
-		samples = flag.Int("samples", 1, "number of matrices to sample")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		alg     = flag.String("alg", "seq", "sampler: seq (Algorithm 3) or rec (Algorithm 4)")
-		stats   = flag.Bool("stats", false, "aggregate: exact vs observed matrix frequencies")
+		rows    = fs.String("rows", "4,4,4", "comma-separated source block sizes")
+		cols    = fs.String("cols", "", "comma-separated target block sizes (default: same as rows)")
+		samples = fs.Int("samples", 1, "number of matrices to sample")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		alg     = fs.String("alg", "seq", "sampler: seq (Algorithm 3) or rec (Algorithm 4)")
+		stats   = fs.Bool("stats", false, "aggregate: exact vs observed matrix frequencies")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	rowM, err := parseVec(*rows)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "matgen:", err)
+		return 1
 	}
 	colM := rowM
 	if *cols != "" {
 		colM, err = parseVec(*cols)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "matgen:", err)
+			return 1
 		}
 	}
 
@@ -57,14 +73,15 @@ func main() {
 		for s := 0; s < *samples; s++ {
 			m := sample()
 			if err := m.CheckMargins(rowM, colM); err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "matgen:", err)
+				return 1
 			}
-			fmt.Print(m.String())
+			fmt.Fprint(stdout, m.String())
 			if s < *samples-1 {
-				fmt.Println()
+				fmt.Fprintln(stdout)
 			}
 		}
-		return
+		return 0
 	}
 
 	// Aggregate mode: observed frequency vs exact probability.
@@ -88,12 +105,13 @@ func main() {
 		return true
 	})
 	sort.Slice(entries, func(a, b int) bool { return entries[a].prob > entries[b].prob })
-	fmt.Printf("%d distinct matrices with margins rows=%v cols=%v, %d samples (%s)\n\n",
+	fmt.Fprintf(stdout, "%d distinct matrices with margins rows=%v cols=%v, %d samples (%s)\n\n",
 		len(entries), rowM, colM, *samples, *alg)
 	for _, e := range entries {
 		obs := float64(e.count) / float64(*samples)
-		fmt.Printf("exact=%.6f observed=%.6f\n%s\n", e.prob, obs, e.key)
+		fmt.Fprintf(stdout, "exact=%.6f observed=%.6f\n%s\n", e.prob, obs, e.key)
 	}
+	return 0
 }
 
 func parseVec(s string) ([]int64, error) {
@@ -102,17 +120,12 @@ func parseVec(s string) ([]int64, error) {
 	for _, p := range parts {
 		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("matgen: bad size %q: %w", p, err)
+			return nil, fmt.Errorf("bad size %q: %w", p, err)
 		}
 		if v < 0 {
-			return nil, fmt.Errorf("matgen: negative size %d", v)
+			return nil, fmt.Errorf("negative size %d", v)
 		}
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "matgen:", err)
-	os.Exit(1)
 }

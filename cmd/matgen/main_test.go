@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGoldenMatrix pins the exact bytes of a single-matrix sample: the
+// margins are the paper's running example (4,4,4 sending into 6,3,3)
+// and the output is a pure function of the flags.
+func TestGoldenMatrix(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rows", "4,4,4", "-cols", "6,3,3", "-seed", "5"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	want := "2 2 0\n2 1 1\n2 0 2\n"
+	if out.String() != want {
+		t.Errorf("matgen -rows 4,4,4 -cols 6,3,3 -seed 5:\ngot  %q\nwant %q", out.String(), want)
+	}
+}
+
+// TestGoldenMultiSample pins the blank-line-separated multi-sample form.
+func TestGoldenMultiSample(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rows", "2,2", "-cols", "2,2", "-samples", "2", "-seed", "9"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	want := "1 1\n1 1\n\n1 1\n1 1\n"
+	if out.String() != want {
+		t.Errorf("got %q want %q", out.String(), want)
+	}
+}
+
+// TestMarginsAlwaysHold samples with several seeds and checks the
+// printed matrix's row and column sums match the requested margins.
+func TestMarginsAlwaysHold(t *testing.T) {
+	wantRows, wantCols := []int{5, 3, 2}, []int{4, 4, 2}
+	for seed := 1; seed <= 5; seed++ {
+		var out, errb bytes.Buffer
+		args := []string{"-rows", "5,3,2", "-cols", "4,4,2", "-seed", strconv.Itoa(seed)}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("seed %d: exit %d: %s", seed, code, errb.String())
+		}
+		rows := strings.Split(strings.TrimSpace(out.String()), "\n")
+		if len(rows) != len(wantRows) {
+			t.Fatalf("seed %d: %d rows, want %d", seed, len(rows), len(wantRows))
+		}
+		colSum := make([]int, len(wantCols))
+		for i, r := range rows {
+			sum := 0
+			for j, f := range strings.Fields(r) {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					t.Fatalf("seed %d: bad entry %q", seed, f)
+				}
+				sum += v
+				colSum[j] += v
+			}
+			if sum != wantRows[i] {
+				t.Errorf("seed %d: row %d sums to %d, want %d", seed, i, sum, wantRows[i])
+			}
+		}
+		for j, want := range wantCols {
+			if colSum[j] != want {
+				t.Errorf("seed %d: col %d sums to %d, want %d", seed, j, colSum[j], want)
+			}
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-rows", "4,x"},
+		{"-rows", "-1,2"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("matgen %v: exit 0, want failure", args)
+		}
+	}
+	// Explicit -h is a successful invocation by POSIX convention.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("matgen -h: exit %d, want 0", code)
+	}
+}

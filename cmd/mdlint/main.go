@@ -1,0 +1,122 @@
+// Command mdlint checks the repository's markdown for broken links, so
+// CI catches a renamed file or heading before a reader does.
+//
+//	mdlint README.md ARCHITECTURE.md BENCHMARKS.md
+//
+// For every inline link [text](target) it verifies:
+//
+//   - a relative file target (README.md, docs/x.md#section) names an
+//     existing file, resolved against the linking file's directory;
+//   - a same-file anchor (#section) or a file#anchor into another
+//     checked markdown file matches a heading, using GitHub's slugging
+//     (lowercase, punctuation dropped, spaces to hyphens);
+//   - absolute http(s) and mailto targets are skipped — CI must not
+//     fail on someone else's outage.
+//
+// Exit status 1 lists every broken link with file:line.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	// linkRe matches inline links, skipping images; markdown inside
+	// code fences is excluded before matching.
+	linkRe    = regexp.MustCompile(`(^|[^!\\])\[[^\]]*\]\(([^)\s]+)\)`)
+	headingRe = regexp.MustCompile("(?m)^#{1,6} +(.+?) *$")
+	slugDrop  = regexp.MustCompile(`[^\p{L}\p{N} _-]`)
+)
+
+// slug reduces a heading to its GitHub anchor.
+func slug(heading string) string {
+	// Strip inline code/emphasis markers first, then non-word runes.
+	h := strings.NewReplacer("`", "", "*", "", "_", "").Replace(heading)
+	h = slugDrop.ReplaceAllString(strings.ToLower(h), "")
+	return strings.ReplaceAll(strings.TrimSpace(h), " ", "-")
+}
+
+// stripFences blanks out fenced code blocks (``` ... ```) so links in
+// sample output are not linted, preserving line numbers.
+func stripFences(src string) string {
+	lines := strings.Split(src, "\n")
+	inFence := false
+	for i, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "```") {
+			inFence = !inFence
+			lines[i] = ""
+			continue
+		}
+		if inFence {
+			lines[i] = ""
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// anchorsOf returns the set of heading slugs in a markdown source.
+func anchorsOf(src string) map[string]bool {
+	anchors := map[string]bool{}
+	for _, m := range headingRe.FindAllStringSubmatch(stripFences(src), -1) {
+		anchors[slug(m[1])] = true
+	}
+	return anchors
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlint FILE.md ...")
+		os.Exit(2)
+	}
+	sources := map[string]string{} // path -> content
+	for _, path := range os.Args[1:] {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdlint:", err)
+			os.Exit(1)
+		}
+		sources[path] = string(b)
+	}
+
+	broken := 0
+	report := func(path string, line int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "%s:%d: %s\n", path, line, fmt.Sprintf(format, args...))
+		broken++
+	}
+	for path, src := range sources {
+		clean := stripFences(src)
+		for _, loc := range linkRe.FindAllStringSubmatchIndex(clean, -1) {
+			target := clean[loc[4]:loc[5]]
+			line := 1 + strings.Count(clean[:loc[4]], "\n")
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, anchor, _ := strings.Cut(target, "#")
+			if file == "" {
+				// Same-file anchor.
+				if !anchorsOf(src)[anchor] {
+					report(path, line, "anchor #%s matches no heading", anchor)
+				}
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), file)
+			if _, err := os.Stat(resolved); err != nil {
+				report(path, line, "link target %s does not exist", target)
+				continue
+			}
+			if anchor != "" {
+				if other, ok := sources[resolved]; ok && !anchorsOf(other)[anchor] {
+					report(path, line, "anchor #%s matches no heading in %s", anchor, file)
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlint: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}

@@ -3,11 +3,15 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
 
 	"randperm"
+	"randperm/internal/service"
 )
 
 // backendResult is one row of the backend comparison, shaped for the
@@ -36,13 +40,94 @@ type compareReport struct {
 	// points stay comparable as backends are added.
 	Speedups map[string]float64 `json:"speedups,omitempty"`
 	Speedup  float64            `json:"speedup_shmem_vs_sim,omitempty"`
+	// Serving is the HTTP-path measurement (-serve): permd's chunk
+	// endpoint driven over a real loopback connection, the number
+	// BENCHMARKS.md's "serving" section tracks.
+	Serving *servingResult `json:"serving,omitempty"`
+}
+
+// servingResult is one measurement of the permd chunk endpoint: req/s
+// and ns/item through the full HTTP path (routing, handle cache, pooled
+// buffers, text encoding, loopback TCP) at a domain size only the
+// bijective backend can serve.
+type servingResult struct {
+	Backend   string  `json:"backend"`
+	N         int64   `json:"n"`
+	ChunkLen  int     `json:"chunk_len"`
+	Requests  int     `json:"requests"`
+	BestNs    int64   `json:"best_req_ns"`
+	NsPerItem float64 `json:"ns_per_item"`
+	ReqPerS   float64 `json:"req_per_sec"`
+}
+
+// runServe measures the served-chunk path: a permd handler on a loopback
+// listener, one warm-up request (handle construction), then `reqs`
+// timed requests for distinct 64Ki-index chunks of an n = 2^40
+// permutation on the bijective backend. Best-of like the table above.
+func runServe(reqs int) (*servingResult, error) {
+	const (
+		servedN  = int64(1) << 40
+		chunkLen = 1 << 16
+	)
+	if reqs <= 0 {
+		reqs = 32
+	}
+	handler, err := service.New(service.Config{})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := fmt.Sprintf("http://%s/v1/perm/42/chunk?n=%d&len=%d&start=", ln.Addr(), servedN, chunkLen)
+
+	fetch := func(start int64) error {
+		resp, err := http.Get(fmt.Sprintf("%s%d", base, start))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("serving bench: status %s", resp.Status)
+		}
+		return nil
+	}
+	if err := fetch(0); err != nil { // warm-up: handle construction, TCP setup
+		return nil, err
+	}
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reqs; r++ {
+		start := time.Now()
+		if err := fetch(int64(r+1) * chunkLen); err != nil {
+			return nil, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return &servingResult{
+		Backend:   "bijective",
+		N:         servedN,
+		ChunkLen:  chunkLen,
+		Requests:  reqs,
+		BestNs:    best.Nanoseconds(),
+		NsPerItem: float64(best.Nanoseconds()) / float64(chunkLen),
+		ReqPerS:   1e9 / float64(best.Nanoseconds()),
+	}, nil
 }
 
 // runCompare times the execution backends side by side on the same
 // workload and prints a table (or JSON with -json). The per-backend
 // figure is the best of `trials` runs, the conventional way to strip
 // scheduler noise from a throughput measurement.
-func runCompare(n int64, p, workers, trials int, which string, seed uint64, asJSON bool) error {
+func runCompare(n int64, p, workers, trials int, which string, seed uint64, serve, asJSON bool) error {
 	if n <= 0 {
 		n = 1 << 20
 	}
@@ -113,6 +198,13 @@ func runCompare(n int64, p, workers, trials int, which string, seed uint64, asJS
 		}
 	}
 	rep.Speedup = rep.Speedups["shmem_vs_sim"]
+	if serve {
+		sr, err := runServe(trials * 8)
+		if err != nil {
+			return err
+		}
+		rep.Serving = sr
+	}
 
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -134,6 +226,11 @@ func runCompare(n int64, p, workers, trials int, which string, seed uint64, asJS
 		if s, ok := rep.Speedups[pair.a+"_vs_"+pair.b]; ok {
 			fmt.Printf("%s speedup over %s: %.2fx\n", pair.a, pair.b, s)
 		}
+	}
+	if rep.Serving != nil {
+		s := rep.Serving
+		fmt.Printf("served chunk (HTTP, %s, n=2^40, %d values/req): %.0f req/s, %.2f ns/item\n",
+			s.Backend, s.ChunkLen, s.ReqPerS, s.NsPerItem)
 	}
 	return nil
 }

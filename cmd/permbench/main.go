@@ -48,12 +48,13 @@ func main() {
 		cmpP     = flag.Int("p", 8, "decomposition width for -compare")
 		workers  = flag.Int("workers", 0, "worker-pool cap for -compare (0 = GOMAXPROCS)")
 		backends = flag.String("backend", "all", "backends for -compare: sim, shmem, inplace, bijective or all")
+		serve    = flag.Bool("serve", false, "with -compare, also measure permd's HTTP chunk path (req/s, ns/item)")
 		jsonOut  = flag.Bool("json", false, "with -compare, emit machine-readable JSON")
 	)
 	flag.Parse()
 
 	if *cmp {
-		if err := runCompare(*n, *cmpP, *workers, *trials, *backends, *seed+1, *jsonOut); err != nil {
+		if err := runCompare(*n, *cmpP, *workers, *trials, *backends, *seed+1, *serve, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

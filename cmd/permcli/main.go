@@ -3,30 +3,48 @@
 //
 // With -n it prints a uniform random permutation of 0..n-1, one value per
 // line; without it, it shuffles the lines of standard input. -p selects
-// the number of simulated processors, -alg the matrix sampling algorithm
-// (opt, log or seq) and -seed makes runs reproducible.
+// the decomposition width, -backend the execution engine (sim, shmem,
+// inplace or bijective — the same engines the library and permd expose),
+// -alg the matrix sampling algorithm of the sim backend (opt, log or
+// seq) and -seed makes runs reproducible.
 //
 //	permcli -n 10 -p 4 -seed 7
-//	shuf somefile | permcli -p 8        # re-shuffle lines, uniformly
+//	permcli -n 1000000 -backend inplace -seed 7   # fast engine, same API
+//	shuf somefile | permcli -p 8                  # re-shuffle lines, uniformly
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"randperm"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main behind testable plumbing: parse args, shuffle, print.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("permcli", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n    = flag.Int64("n", 0, "emit a permutation of 0..n-1 instead of reading stdin")
-		p    = flag.Int("p", 8, "number of simulated processors")
-		seed = flag.Uint64("seed", 1, "random seed")
-		alg  = flag.String("alg", "opt", "matrix algorithm: opt, log or seq")
+		n       = fs.Int64("n", 0, "emit a permutation of 0..n-1 instead of reading stdin")
+		p       = fs.Int("p", 8, "decomposition width (simulated processors / blocks)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		alg     = fs.String("alg", "opt", "matrix algorithm for -backend sim: opt, log or seq")
+		backend = fs.String("backend", "sim", "execution backend: sim, shmem, inplace or bijective")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var matrix randperm.MatrixAlg
 	switch *alg {
@@ -37,12 +55,17 @@ func main() {
 	case "seq":
 		matrix = randperm.MatrixSeq
 	default:
-		fmt.Fprintf(os.Stderr, "permcli: unknown -alg %q (want opt, log or seq)\n", *alg)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "permcli: unknown -alg %q (want opt, log or seq)\n", *alg)
+		return 2
 	}
-	opt := randperm.Options{Procs: *p, Seed: *seed, Matrix: matrix}
+	be, err := randperm.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(stderr, "permcli:", err)
+		return 2
+	}
+	opt := randperm.Options{Procs: *p, Seed: *seed, Matrix: matrix, Backend: be}
 
-	out := bufio.NewWriter(os.Stdout)
+	out := bufio.NewWriter(stdout)
 	defer out.Flush()
 
 	if *n > 0 {
@@ -52,27 +75,27 @@ func main() {
 		}
 		shuffled, _, err := randperm.ParallelShuffle(data, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "permcli:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "permcli:", err)
+			return 1
 		}
 		for _, v := range shuffled {
 			fmt.Fprintln(out, v)
 		}
-		return
+		return 0
 	}
 
 	var lines []string
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	for sc.Scan() {
 		lines = append(lines, sc.Text())
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "permcli: reading stdin:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "permcli: reading stdin:", err)
+		return 1
 	}
 	if len(lines) == 0 {
-		return
+		return 0
 	}
 	procs := opt.Procs
 	if procs > len(lines) {
@@ -81,10 +104,11 @@ func main() {
 	opt.Procs = procs
 	shuffled, _, err := randperm.ParallelShuffle(lines, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "permcli:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "permcli:", err)
+		return 1
 	}
 	for _, l := range shuffled {
 		fmt.Fprintln(out, l)
 	}
+	return 0
 }

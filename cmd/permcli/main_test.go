@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"randperm"
+)
+
+// goldens pin the exact bytes `permcli -n -seed` prints per backend.
+// They are part of the tool's contract: scripts that diff permcli output
+// across machines or releases (and CI's permd smoke test, which compares
+// the daemon against this tool) rely on the output being a pure function
+// of the flags.
+var goldens = []struct {
+	args []string
+	want string
+}{
+	{[]string{"-n", "10", "-seed", "7"}, "3\n9\n2\n0\n6\n7\n5\n8\n4\n1\n"},
+	{[]string{"-n", "10", "-seed", "7", "-backend", "shmem"}, "7\n1\n8\n6\n3\n5\n0\n2\n4\n9\n"},
+	{[]string{"-n", "10", "-seed", "7", "-backend", "inplace"}, "3\n8\n9\n4\n6\n7\n2\n5\n1\n0\n"},
+	{[]string{"-n", "10", "-seed", "7", "-backend", "bijective"}, "4\n6\n7\n9\n1\n5\n2\n8\n3\n0\n"},
+}
+
+func TestGoldenPermutation(t *testing.T) {
+	for _, g := range goldens {
+		var out, errb bytes.Buffer
+		if code := run(g.args, strings.NewReader(""), &out, &errb); code != 0 {
+			t.Fatalf("permcli %v: exit %d: %s", g.args, code, errb.String())
+		}
+		if out.String() != g.want {
+			t.Errorf("permcli %v:\ngot  %q\nwant %q", g.args, out.String(), g.want)
+		}
+	}
+}
+
+// TestGoldenMatchesLibrary re-derives each golden from the library, so a
+// legitimate distribution-changing library change fails both this test
+// and the literal goldens together — pointing at the contract, not a typo.
+func TestGoldenMatchesLibrary(t *testing.T) {
+	for _, g := range goldens {
+		backend := randperm.BackendSim
+		for i, a := range g.args {
+			if a == "-backend" {
+				b, err := randperm.ParseBackend(g.args[i+1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				backend = b
+			}
+		}
+		data := make([]int64, 10)
+		for i := range data {
+			data[i] = int64(i)
+		}
+		out, _, err := randperm.ParallelShuffle(data, randperm.Options{Procs: 8, Seed: 7, Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, v := range out {
+			b.WriteString(strconv.FormatInt(v, 10))
+			b.WriteByte('\n')
+		}
+		if b.String() != g.want {
+			t.Errorf("golden for %v out of sync with library: lib %q, golden %q", g.args, b.String(), g.want)
+		}
+	}
+}
+
+// TestStdinShuffle: without -n the tool shuffles stdin lines; the output
+// must be a permutation of the input, deterministic in the seed, on
+// every backend.
+func TestStdinShuffle(t *testing.T) {
+	input := "alpha\nbravo\ncharlie\ndelta\necho\n"
+	for _, backend := range []string{"sim", "shmem", "inplace", "bijective"} {
+		var out1, out2, errb bytes.Buffer
+		args := []string{"-seed", "3", "-backend", backend}
+		if code := run(args, strings.NewReader(input), &out1, &errb); code != 0 {
+			t.Fatalf("%s: exit %d: %s", backend, code, errb.String())
+		}
+		if code := run(args, strings.NewReader(input), &out2, &errb); code != 0 {
+			t.Fatalf("%s: exit %d: %s", backend, code, errb.String())
+		}
+		if out1.String() != out2.String() {
+			t.Errorf("%s: same seed, different output", backend)
+		}
+		got := strings.Fields(out1.String())
+		want := strings.Fields(input)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d lines out, %d in", backend, len(got), len(want))
+		}
+		seen := map[string]int{}
+		for _, w := range want {
+			seen[w]++
+		}
+		for _, g := range got {
+			seen[g]--
+		}
+		for k, v := range seen {
+			if v != 0 {
+				t.Errorf("%s: output is not a permutation of input (%q off by %d)", backend, k, v)
+			}
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-backend", "nope", "-n", "4"},
+		{"-alg", "nope", "-n", "4"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, strings.NewReader(""), &out, &errb); code != 2 {
+			t.Errorf("permcli %v: exit %d, want 2 (%s)", args, code, errb.String())
+		}
+	}
+	// Explicit -h is a successful invocation by POSIX convention.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Errorf("permcli -h: exit %d, want 0", code)
+	}
+}

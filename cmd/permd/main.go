@@ -1,0 +1,82 @@
+// Command permd serves the package's permutation machinery over HTTP:
+// a long-running daemon that gives a fleet of clients shard assignment,
+// replayable shuffles and O(1) point queries over huge index domains.
+// The endpoints, the handle-cache semantics and the over-the-wire
+// determinism contract are documented in the "service layer" section of
+// ARCHITECTURE.md; the README's operator guide shows worked invocations.
+//
+//	permd                               # listen on :8080
+//	permd -addr 127.0.0.1:9090 -procs 8 -max-handles 256
+//
+//	curl 'localhost:8080/v1/perm/42/chunk?n=1099511627776&start=7000000&len=5'
+//	curl 'localhost:8080/v1/perm/42/at?n=1099511627776&i=7000003'
+//	printf 'a\nb\nc\n' | curl --data-binary @- 'localhost:8080/v1/shuffle?seed=7'
+//	curl 'localhost:8080/v1/sample?n=1000000&k=5&seed=7'
+//	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"randperm/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		procs      = flag.Int("procs", 8, "pinned decomposition width p for every permutation served")
+		maxHandles = flag.Int("max-handles", 64, "Permuter handle LRU capacity")
+		maxN       = flag.Int64("max-n", 1<<24, "largest n served by materializing backends, /v1/shuffle and /v1/sample")
+		maxChunk   = flag.Int("max-chunk", 1<<16, "chunk buffer length and default chunk len")
+		maxBody    = flag.Int64("max-body", 32<<20, "largest /v1/shuffle request body in bytes")
+		backend    = flag.String("backend", "bijective", "default backend for /v1/perm endpoints: sim, shmem, inplace or bijective")
+	)
+	flag.Parse()
+
+	handler, err := service.New(service.Config{
+		Procs:          *procs,
+		MaxHandles:     *maxHandles,
+		MaxN:           *maxN,
+		MaxChunk:       *maxChunk,
+		MaxBody:        *maxBody,
+		DefaultBackend: *backend,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permd:", err)
+		os.Exit(2)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	log.Printf("permd: listening on %s (procs=%d default backend=%s)", *addr, *procs, *backend)
+
+	select {
+	case err := <-done:
+		log.Fatalf("permd: %v", err)
+	case <-ctx.Done():
+		log.Printf("permd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("permd: shutdown: %v", err)
+		}
+	}
+}

@@ -68,4 +68,12 @@
 // every result in this package is deterministic and reproducible, and
 // the shared-memory backends are additionally independent of the worker
 // count; the bijective backend is a pure function of (Seed, n).
+//
+// Above the package sits the permd daemon (cmd/permd, backed by
+// internal/service): the same machinery as a long-running HTTP service
+// with a single-flight LRU of Permuter handles, streamed chunk
+// responses and Prometheus metrics. The Materialize, Materialized and
+// OnMaterialize methods on Permuter exist for such handle-reusing
+// callers. See the service layer section of ARCHITECTURE.md and the
+// operator guide in README.md.
 package randperm

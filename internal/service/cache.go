@@ -1,0 +1,109 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"randperm"
+)
+
+// handleKey identifies one permutation the daemon can serve. Procs is
+// deliberately absent: the server pins one decomposition width at
+// construction (Config.Procs), so over HTTP a chunk is fully determined
+// by (n, seed, backend) — the determinism contract ARCHITECTURE.md
+// states for the service layer.
+type handleKey struct {
+	n       int64
+	seed    uint64
+	backend randperm.Backend
+}
+
+// handleEntry is one cache slot. The sync.Once is the single-flight
+// seam: every request that resolves the same key gets the same entry,
+// exactly one of them runs the constructor, and the rest block on the
+// Once and then share the one *Permuter — which in turn holds the
+// library's own once-guarded lazy materialization, so 1000 concurrent
+// first requests for one permutation cost one n-word build, not 1000.
+type handleEntry struct {
+	key  handleKey
+	once sync.Once
+	pm   *randperm.Permuter
+	err  error
+}
+
+// handleCache is an LRU of Permuter handles keyed by (n, seed, backend).
+// The lock covers only the map and recency list; handle construction
+// (and the materialization hiding behind it) runs outside the lock on
+// the entry's Once, so a slow build never blocks requests for other
+// keys. An evicted entry that racing requests still hold finishes its
+// build for them and is garbage collected when they finish — eviction
+// only forgets the handle, it never invalidates in-flight use.
+type handleCache struct {
+	capacity int
+	build    func(handleKey) (*randperm.Permuter, error)
+
+	mu      sync.Mutex
+	entries map[handleKey]*list.Element // value: *handleEntry
+	lru     *list.List                  // front = most recently used
+
+	met *metrics
+}
+
+func newHandleCache(capacity int, met *metrics, build func(handleKey) (*randperm.Permuter, error)) *handleCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &handleCache{
+		capacity: capacity,
+		build:    build,
+		entries:  make(map[handleKey]*list.Element),
+		lru:      list.New(),
+		met:      met,
+	}
+}
+
+// get returns the cached handle for key, constructing it (once, shared
+// across racing callers) on a miss.
+func (c *handleCache) get(key handleKey) (*randperm.Permuter, error) {
+	c.mu.Lock()
+	var e *handleEntry
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		e = el.Value.(*handleEntry)
+		c.met.cacheHits.Add(1)
+	} else {
+		e = &handleEntry{key: key}
+		c.entries[key] = c.lru.PushFront(e)
+		c.met.cacheMisses.Add(1)
+		for c.lru.Len() > c.capacity {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*handleEntry).key)
+			c.met.cacheEvictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.pm, e.err = c.build(key)
+	})
+	if e.err != nil {
+		// Do not cache failures: drop the entry so the next request
+		// retries instead of replaying a stale error forever.
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok && el.Value.(*handleEntry) == e {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	return e.pm, nil
+}
+
+// len reports how many handles are resident (for /healthz).
+func (c *handleCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// metrics is the daemon's instrumentation: monotone counters only, so
+// every figure is cheap to record on the hot path (one atomic add) and
+// every rate an operator wants — req/s, ns/item, cache hit rate — is a
+// quotient of two counters computed at scrape time. The exposition
+// format is the Prometheus text format, hand-rolled because the module
+// deliberately has no dependencies outside the standard library.
+type metrics struct {
+	// requests counts completed requests per endpoint, indexed by the
+	// ep* constants below.
+	requests [epCount]atomic.Int64
+	// errors counts requests answered with a 4xx/5xx status.
+	errors atomic.Int64
+
+	// items is the number of permutation values written by the chunk,
+	// at, shuffle and sample endpoints; chunkNs is the wall time the
+	// chunk endpoint spent serving them. chunkNs/items over the chunk
+	// endpoint alone is the served ns/item figure BENCHMARKS.md tracks.
+	items      atomic.Int64
+	chunkItems atomic.Int64
+	chunkNs    atomic.Int64
+
+	// Handle-cache counters: a hit found a live handle for
+	// (n, seed, backend); a miss constructed one; an eviction dropped
+	// the least-recently-used handle past capacity. materializations
+	// counts lazy n-word builds actually run — with single-flight
+	// handles it stays at one per materialized key no matter how many
+	// concurrent requests raced for it.
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	cacheEvictions   atomic.Int64
+	materializations atomic.Int64
+}
+
+// Endpoint indices for the requests counter.
+const (
+	epChunk = iota
+	epAt
+	epShuffle
+	epSample
+	epHealthz
+	epMetrics
+	epCount
+)
+
+var epNames = [epCount]string{"chunk", "at", "shuffle", "sample", "healthz", "metrics"}
+
+// write emits the counters in Prometheus text format, one family per
+// metric, endpoint as a label. Families print in a fixed order so
+// scrapes diff cleanly.
+func (m *metrics) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP permd_requests_total Completed requests per endpoint.\n")
+	fmt.Fprintf(w, "# TYPE permd_requests_total counter\n")
+	names := append([]string(nil), epNames[:]...)
+	sort.Strings(names)
+	byName := map[string]*atomic.Int64{}
+	for i := range epNames {
+		byName[epNames[i]] = &m.requests[i]
+	}
+	for _, name := range names {
+		fmt.Fprintf(w, "permd_requests_total{endpoint=%q} %d\n", name, byName[name].Load())
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("permd_request_errors_total", "Requests answered with a 4xx/5xx status.", m.errors.Load())
+	counter("permd_items_total", "Permutation values served across all endpoints.", m.items.Load())
+	counter("permd_chunk_items_total", "Permutation values served by the chunk endpoint.", m.chunkItems.Load())
+	counter("permd_chunk_ns_total", "Wall nanoseconds spent serving chunk requests.", m.chunkNs.Load())
+	counter("permd_handle_cache_hits_total", "Chunk/at requests served from a cached Permuter handle.", m.cacheHits.Load())
+	counter("permd_handle_cache_misses_total", "Permuter handles constructed on demand.", m.cacheMisses.Load())
+	counter("permd_handle_cache_evictions_total", "Handles dropped by the LRU past capacity.", m.cacheEvictions.Load())
+	counter("permd_materializations_total", "Lazy full-permutation builds actually run.", m.materializations.Load())
+
+	// The two derived figures operators actually watch, precomputed as
+	// gauges so a bare curl needs no PromQL.
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(w, "# HELP permd_handle_cache_hit_rate Hits / (hits + misses) since start.\n")
+	fmt.Fprintf(w, "# TYPE permd_handle_cache_hit_rate gauge\n")
+	fmt.Fprintf(w, "permd_handle_cache_hit_rate %g\n", hitRate)
+	nsPerItem := 0.0
+	if ci := m.chunkItems.Load(); ci > 0 {
+		nsPerItem = float64(m.chunkNs.Load()) / float64(ci)
+	}
+	fmt.Fprintf(w, "# HELP permd_chunk_ns_per_item Served chunk nanoseconds per value since start.\n")
+	fmt.Fprintf(w, "# TYPE permd_chunk_ns_per_item gauge\n")
+	fmt.Fprintf(w, "permd_chunk_ns_per_item %g\n", nsPerItem)
+}

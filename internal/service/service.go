@@ -1,0 +1,474 @@
+// Package service implements permd, the permutation-as-a-service
+// daemon: the package's streaming Permuter machinery behind a
+// concurrent, cacheable HTTP API. One running daemon gives a fleet of
+// clients shard assignment, replayable shuffles and O(1) point queries
+// over huge index domains, with the determinism contract of the library
+// carried over the wire: for a server pinned to one decomposition width,
+// (seed, n, backend) fully determine every byte of a chunk response,
+// across requests, restarts and replicas.
+//
+// The core is a handle cache: an LRU of seeded Permuter handles keyed by
+// (n, seed, backend), with single-flight construction so concurrent
+// requests for the same permutation share one handle — and therefore one
+// lazy materialization on the materializing backends. Chunk responses
+// stream through fixed-size buffers drawn from a sync.Pool, so a request
+// for a billion-value range holds O(MaxChunk) memory, not O(len).
+//
+// Endpoints (all responses are one decimal value per line unless noted):
+//
+//	GET  /v1/perm/{seed}/chunk?n=&start=&len=&backend=   π(start)..π(start+len-1)
+//	GET  /v1/perm/{seed}/at?n=&i=&backend=               π(i)
+//	POST /v1/shuffle?seed=&backend=                      body lines (or JSON array) shuffled
+//	GET  /v1/sample?n=&k=&seed=                          uniform k-subset of [0, n)
+//	GET  /healthz                                        JSON liveness + config echo
+//	GET  /metrics                                        Prometheus text format
+//
+// Exactness gating: /v1/shuffle and /v1/sample promise the exactly
+// uniform law over all orderings, so /v1/shuffle refuses backends with
+// Backend.ExactUniform() == false (HTTP 400) and /v1/sample always runs
+// the simulated-machine sampling path. /v1/perm/* serves any backend and
+// reports which one in a response header; the non-uniform fine print of
+// BackendBijective is the client's to accept — it is the backend that
+// makes n beyond memory serveable at all.
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"mime"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"randperm"
+)
+
+// Config sizes the daemon. The zero value is usable: every field has a
+// default applied by New.
+type Config struct {
+	// Procs is the decomposition width handed to every Options{} the
+	// server builds (default 8). It is pinned server-wide rather than
+	// accepted per request so that the HTTP determinism contract needs
+	// only (seed, n, backend); replicas that must agree byte-for-byte
+	// must share it (on BackendBijective even that is unnecessary — the
+	// permutation is a function of (seed, n) alone).
+	Procs int
+	// MaxHandles caps the Permuter handle LRU (default 64). Each
+	// materialized handle for a size-n domain holds 8n bytes; bijective
+	// handles hold O(1).
+	MaxHandles int
+	// MaxN bounds n on every endpoint that materializes or iterates n
+	// items — /v1/perm/* on the materializing backends, /v1/shuffle and
+	// /v1/sample (default 1 << 24). BackendBijective requests ignore it:
+	// they touch only the indexes actually served.
+	MaxN int64
+	// MaxChunk is the pooled per-request buffer length and the default
+	// chunk len when the query omits it (default 65536). Explicit len
+	// may exceed it; the response then streams through the buffer in
+	// MaxChunk-sized pages.
+	MaxChunk int
+	// MaxBody caps the /v1/shuffle request body in bytes (default 32 MiB).
+	MaxBody int64
+	// DefaultBackend serves /v1/perm/* requests that omit ?backend=.
+	// It is flag-shaped — "sim", "shmem", "inplace" or "bijective", as
+	// accepted by randperm.ParseBackend — so the empty string can mean
+	// "bijective", the streaming-native backend and the only one that
+	// serves n beyond MaxN. /v1/shuffle defaults to BackendSharedMem
+	// independently, because its exactness gate would refuse a
+	// bijective default.
+	DefaultBackend string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 8
+	}
+	if c.MaxHandles <= 0 {
+		c.MaxHandles = 64
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 1 << 24
+	}
+	if c.MaxChunk <= 0 {
+		c.MaxChunk = 1 << 16
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 32 << 20
+	}
+	if c.DefaultBackend == "" {
+		c.DefaultBackend = "bijective"
+	}
+	return c
+}
+
+// Server is the permd HTTP handler. Create one with New and mount it on
+// any http.Server; it is safe for concurrent use.
+type Server struct {
+	cfg        Config
+	defBackend randperm.Backend
+	met        metrics
+	cache      *handleCache
+	bufs       sync.Pool // *[]int64 of length cfg.MaxChunk
+	mux        *http.ServeMux
+}
+
+// New builds a Server from cfg (zero value fine; see Config defaults).
+// The only error is an unparseable Config.DefaultBackend.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	def, err := randperm.ParseBackend(cfg.DefaultBackend)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, defBackend: def, mux: http.NewServeMux()}
+	s.cache = newHandleCache(cfg.MaxHandles, &s.met, s.buildHandle)
+	s.bufs.New = func() any {
+		b := make([]int64, cfg.MaxChunk)
+		return &b
+	}
+	s.mux.HandleFunc("GET /v1/perm/{seed}/chunk", s.handleChunk)
+	s.mux.HandleFunc("GET /v1/perm/{seed}/at", s.handleAt)
+	s.mux.HandleFunc("POST /v1/shuffle", s.handleShuffle)
+	s.mux.HandleFunc("GET /v1/sample", s.handleSample)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// buildHandle is the cache's single-flight constructor: the one place a
+// Permuter is made, so the materialization-counting hook is registered
+// before any request can share the handle.
+func (s *Server) buildHandle(key handleKey) (*randperm.Permuter, error) {
+	pm, err := randperm.NewPermuter(key.n, randperm.Options{
+		Procs:   s.cfg.Procs,
+		Seed:    key.seed,
+		Backend: key.backend,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pm.OnMaterialize(func() { s.met.materializations.Add(1) })
+	return pm, nil
+}
+
+// httpError answers with a plain-text error and counts it.
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.met.errors.Add(1)
+	http.Error(w, "permd: "+fmt.Sprintf(format, args...), code)
+}
+
+// queryInt64 parses query parameter name, or returns (def, true) when absent.
+func queryInt64(r *http.Request, name string, def int64) (int64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: want a decimal integer", name, v)
+	}
+	return n, nil
+}
+
+// permuterFor resolves the {seed} path value and the n/backend query of
+// a /v1/perm/* request into a cached handle. It applies the MaxN gate to
+// materializing backends and answers the error itself when it returns ok
+// == false.
+func (s *Server) permuterFor(w http.ResponseWriter, r *http.Request) (pm *randperm.Permuter, n int64, ok bool) {
+	seed, err := strconv.ParseUint(r.PathValue("seed"), 10, 64)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad seed %q: want a decimal uint64", r.PathValue("seed"))
+		return nil, 0, false
+	}
+	n, err = queryInt64(r, "n", -1)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return nil, 0, false
+	}
+	if n < 0 {
+		s.httpError(w, http.StatusBadRequest, "missing or negative n: the domain size n is required")
+		return nil, 0, false
+	}
+	backend := s.defBackend
+	if bs := r.URL.Query().Get("backend"); bs != "" {
+		backend, err = randperm.ParseBackend(bs)
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return nil, 0, false
+		}
+	}
+	if backend != randperm.BackendBijective && n > s.cfg.MaxN {
+		s.httpError(w, http.StatusBadRequest,
+			"n=%d exceeds this server's materialization bound %d for backend %s; use backend=bijective for larger domains",
+			n, s.cfg.MaxN, backend)
+		return nil, 0, false
+	}
+	pm, err = s.cache.get(handleKey{n: n, seed: seed, backend: backend})
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "building permutation: %v", err)
+		return nil, 0, false
+	}
+	w.Header().Set("Permd-Backend", backend.String())
+	return pm, n, true
+}
+
+// handleChunk serves GET /v1/perm/{seed}/chunk?n=&start=&len=&backend= —
+// the values π(start) .. π(start+len-1), one decimal per line. len
+// defaults to min(MaxChunk, n-start) and may exceed MaxChunk, in which
+// case the response streams through the pooled buffer page by page.
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[epChunk].Add(1)
+	pm, n, ok := s.permuterFor(w, r)
+	if !ok {
+		return
+	}
+	start, err := queryInt64(r, "start", 0)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if start < 0 || start > n {
+		s.httpError(w, http.StatusBadRequest, "start=%d outside [0, %d]", start, n)
+		return
+	}
+	length := min(n-start, int64(s.cfg.MaxChunk))
+	if lv := r.URL.Query().Get("len"); lv != "" {
+		length, err = strconv.ParseInt(lv, 10, 64)
+		if err != nil || length < 0 {
+			s.httpError(w, http.StatusBadRequest, "bad len=%q: want a non-negative decimal integer", lv)
+			return
+		}
+		if rest := n - start; length > rest {
+			length = rest
+		}
+	}
+
+	began := time.Now()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	bufp := s.bufs.Get().(*[]int64)
+	defer s.bufs.Put(bufp)
+	buf := *bufp
+	bw := bufio.NewWriterSize(w, 1<<15)
+	var line []byte
+	served := int64(0)
+	for served < length {
+		page := buf
+		if rest := length - served; rest < int64(len(page)) {
+			page = page[:rest]
+		}
+		m, err := pm.Chunk(page, start+served)
+		if err != nil {
+			// Headers are gone; all we can do is truncate the stream.
+			s.met.errors.Add(1)
+			return
+		}
+		for _, v := range page[:m] {
+			line = strconv.AppendInt(line[:0], v, 10)
+			line = append(line, '\n')
+			if _, err := bw.Write(line); err != nil {
+				return // client went away
+			}
+		}
+		served += int64(m)
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	s.met.items.Add(served)
+	s.met.chunkItems.Add(served)
+	s.met.chunkNs.Add(time.Since(began).Nanoseconds())
+}
+
+// handleAt serves GET /v1/perm/{seed}/at?n=&i=&backend= — the single
+// value π(i). O(1) on the default bijective backend; a materializing
+// backend pays (and caches) its one-time build like any chunk request.
+func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[epAt].Add(1)
+	pm, n, ok := s.permuterFor(w, r)
+	if !ok {
+		return
+	}
+	i, err := queryInt64(r, "i", -1)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if i < 0 || i >= n {
+		s.httpError(w, http.StatusBadRequest, "i=%d outside [0, %d)", i, n)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%d\n", pm.At(i))
+	s.met.items.Add(1)
+}
+
+// handleShuffle serves POST /v1/shuffle?seed=&backend=: the request body
+// — newline-separated values, or a JSON array with Content-Type
+// application/json — comes back in exactly-uniform random order. This is
+// the exactness-sensitive endpoint: a backend whose ExactUniform() is
+// false is refused with 400 rather than silently served from the
+// bijective keyed family.
+func (s *Server) handleShuffle(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[epShuffle].Add(1)
+	q := r.URL.Query()
+	seed, err := strconv.ParseUint(q.Get("seed"), 10, 64)
+	if q.Get("seed") != "" && err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad seed %q: want a decimal uint64", q.Get("seed"))
+		return
+	}
+	backend := randperm.BackendSharedMem
+	if bs := q.Get("backend"); bs != "" {
+		backend, err = randperm.ParseBackend(bs)
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if !backend.ExactUniform() {
+		s.httpError(w, http.StatusBadRequest,
+			"backend %s is not exactly uniform over S_n and is refused on /v1/shuffle; use sim, shmem or inplace (or stream the keyed family from /v1/perm)", backend)
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	mediaType, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	asJSON := mediaType == "application/json"
+	var items []string
+	var raw []json.RawMessage
+	if asJSON {
+		if err := json.NewDecoder(body).Decode(&raw); err != nil {
+			s.httpError(w, http.StatusBadRequest, "decoding JSON array: %v", err)
+			return
+		}
+	} else {
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 1<<20), 1<<24)
+		for sc.Scan() {
+			items = append(items, sc.Text())
+		}
+		if err := sc.Err(); err != nil {
+			s.httpError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+	}
+	count := len(items)
+	if asJSON {
+		count = len(raw)
+	}
+	if int64(count) > s.cfg.MaxN {
+		s.httpError(w, http.StatusRequestEntityTooLarge, "%d items exceeds this server's bound %d", count, s.cfg.MaxN)
+		return
+	}
+	opt := randperm.Options{Procs: min(s.cfg.Procs, max(count, 1)), Seed: seed, Backend: backend}
+
+	if asJSON {
+		out, _, err := randperm.ParallelShuffle(raw, opt)
+		if err != nil {
+			s.httpError(w, http.StatusInternalServerError, "shuffling: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			return
+		}
+		s.met.items.Add(int64(len(out)))
+		return
+	}
+	out, _, err := randperm.ParallelShuffle(items, opt)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "shuffling: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	bw := bufio.NewWriterSize(w, 1<<15)
+	for _, l := range out {
+		bw.WriteString(l)
+		bw.WriteByte('\n')
+	}
+	bw.Flush()
+	s.met.items.Add(int64(len(out)))
+}
+
+// handleSample serves GET /v1/sample?n=&k=&seed= — a uniformly random
+// k-subset of [0, n) in uniformly random order, one value per line,
+// drawn by ParallelSample on the simulated machine (always exactly
+// uniform; there is no backend parameter to gate).
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[epSample].Add(1)
+	n, err := queryInt64(r, "n", -1)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if n < 0 {
+		s.httpError(w, http.StatusBadRequest, "missing or negative n: the domain size n is required")
+		return
+	}
+	if n > s.cfg.MaxN {
+		s.httpError(w, http.StatusBadRequest, "n=%d exceeds this server's bound %d", n, s.cfg.MaxN)
+		return
+	}
+	k, err := queryInt64(r, "k", -1)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if k < 0 || k > n {
+		s.httpError(w, http.StatusBadRequest, "k=%d outside [0, n=%d]", k, n)
+		return
+	}
+	var seed uint64
+	if sv := r.URL.Query().Get("seed"); sv != "" {
+		if seed, err = strconv.ParseUint(sv, 10, 64); err != nil {
+			s.httpError(w, http.StatusBadRequest, "bad seed %q: want a decimal uint64", sv)
+			return
+		}
+	}
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	sample, _, err := randperm.ParallelSample(data, k, randperm.Options{Procs: s.cfg.Procs, Seed: seed})
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "sampling: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	bw := bufio.NewWriterSize(w, 1<<15)
+	var line []byte
+	for _, v := range sample {
+		line = strconv.AppendInt(line[:0], v, 10)
+		line = append(line, '\n')
+		bw.Write(line)
+	}
+	bw.Flush()
+	s.met.items.Add(int64(len(sample)))
+}
+
+// handleHealthz serves a JSON liveness probe that doubles as a config
+// echo, so an operator (or a replica checking compatibility) can read
+// the pinned decomposition width the determinism contract depends on.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[epHealthz].Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":          "ok",
+		"procs":           s.cfg.Procs,
+		"handles":         s.cache.len(),
+		"max_handles":     s.cfg.MaxHandles,
+		"max_n":           s.cfg.MaxN,
+		"max_chunk":       s.cfg.MaxChunk,
+		"default_backend": s.defBackend.String(),
+		"backends":        []string{"sim", "shmem", "inplace", "bijective"},
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[epMetrics].Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w)
+}

@@ -1,0 +1,458 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"randperm"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// get performs one request against the handler and returns status + body.
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// expectChunk renders what the chunk endpoint must emit for the given
+// permutation range: the library's own Chunk output, one decimal per line.
+func expectChunk(t *testing.T, n int64, opt randperm.Options, start, length int64) string {
+	t.Helper()
+	pm, err := randperm.NewPermuter(n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, length)
+	m, err := pm.Chunk(vals, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, v := range vals[:m] {
+		fmt.Fprintf(&b, "%d\n", v)
+	}
+	return b.String()
+}
+
+// TestChunkByteIdentical is the acceptance contract: for every backend,
+// the HTTP chunk is byte-identical to Permuter.Chunk under the same
+// (seed, n, backend) — including across a server restart, here two
+// independently constructed Server instances.
+func TestChunkByteIdentical(t *testing.T) {
+	const (
+		n            = int64(4096)
+		seed         = uint64(42)
+		start        = int64(1000)
+		length int64 = 128
+	)
+	for _, backend := range []string{"sim", "shmem", "inplace", "bijective"} {
+		b, err := randperm.ParseBackend(backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := expectChunk(t, n, randperm.Options{Procs: 8, Seed: seed, Backend: b}, start, length)
+		path := fmt.Sprintf("/v1/perm/%d/chunk?n=%d&start=%d&len=%d&backend=%s", seed, n, start, length, backend)
+		for restart := 0; restart < 2; restart++ {
+			s := newTestServer(t, Config{})
+			code, body := get(t, s, path)
+			if code != http.StatusOK {
+				t.Fatalf("%s restart=%d: status %d: %s", backend, restart, code, body)
+			}
+			if body != want {
+				t.Errorf("%s restart=%d: HTTP chunk differs from Permuter.Chunk\nhttp: %.60q...\nlib:  %.60q...",
+					backend, restart, body, want)
+			}
+		}
+	}
+}
+
+// TestChunkPaging drives len far past MaxChunk so the response must
+// stream through several pooled buffer pages, and checks the seam-free
+// result against one library chunk.
+func TestChunkPaging(t *testing.T) {
+	const n, seed = int64(10000), uint64(9)
+	s := newTestServer(t, Config{MaxChunk: 64})
+	want := expectChunk(t, n, randperm.Options{Procs: 8, Seed: seed, Backend: randperm.BackendBijective}, 0, n)
+	code, body := get(t, s, fmt.Sprintf("/v1/perm/%d/chunk?n=%d&len=%d", seed, n, n))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if body != want {
+		t.Errorf("paged response differs from single-chunk library output")
+	}
+}
+
+// TestChunkDefaults: len defaults to min(MaxChunk, n-start), start to 0,
+// backend to the server default; len is clamped to the end of the domain.
+func TestChunkDefaults(t *testing.T) {
+	s := newTestServer(t, Config{MaxChunk: 16})
+	code, body := get(t, s, "/v1/perm/7/chunk?n=1000")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if got := strings.Count(body, "\n"); got != 16 {
+		t.Errorf("default len: got %d lines, want MaxChunk=16", got)
+	}
+	// Clamp: ask for far more than remains.
+	code, body = get(t, s, "/v1/perm/7/chunk?n=1000&start=995&len=100000")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if got := strings.Count(body, "\n"); got != 5 {
+		t.Errorf("clamped len: got %d lines, want 5", got)
+	}
+}
+
+// TestChunkIsPermutation pulls a whole small domain and checks the
+// served values are exactly {0..n-1}.
+func TestChunkIsPermutation(t *testing.T) {
+	const n = 512
+	s := newTestServer(t, Config{})
+	code, body := get(t, s, fmt.Sprintf("/v1/perm/3/chunk?n=%d&len=%d", n, n))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	seen := make([]bool, n)
+	lines := strings.Fields(body)
+	if len(lines) != n {
+		t.Fatalf("got %d values, want %d", len(lines), n)
+	}
+	for _, l := range lines {
+		v, err := strconv.ParseInt(l, 10, 64)
+		if err != nil || v < 0 || v >= n || seen[v] {
+			t.Fatalf("bad or duplicate value %q", l)
+		}
+		seen[v] = true
+	}
+}
+
+func TestChunkErrors(t *testing.T) {
+	s := newTestServer(t, Config{MaxN: 1 << 10})
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/v1/perm/7/chunk", http.StatusBadRequest},                          // missing n
+		{"/v1/perm/7/chunk?n=-1", http.StatusBadRequest},                     // negative n
+		{"/v1/perm/7/chunk?n=100&start=101", http.StatusBadRequest},          // start past end
+		{"/v1/perm/7/chunk?n=100&start=-1", http.StatusBadRequest},           // negative start
+		{"/v1/perm/7/chunk?n=100&backend=nope", http.StatusBadRequest},       // unknown backend
+		{"/v1/perm/not-a-seed/chunk?n=100", http.StatusBadRequest},           // bad seed
+		{"/v1/perm/7/chunk?n=100000&backend=inplace", http.StatusBadRequest}, // MaxN gate
+		{"/v1/perm/7/chunk?n=100000&backend=bijective", http.StatusOK},       // bijective exempt
+		{"/v1/perm/7/chunk?n=100&len=abc", http.StatusBadRequest},            // bad len
+		{"/v1/perm/7/chunk?n=100&len=-3", http.StatusBadRequest},             // explicit negative len
+		{"/v1/perm/7/at?n=100&i=100", http.StatusBadRequest},                 // i out of range
+		{"/v1/perm/7/at?n=100", http.StatusBadRequest},                       // missing i
+		{"/v1/sample?k=5", http.StatusBadRequest},                            // missing n
+		{"/v1/sample?n=10&k=11", http.StatusBadRequest},                      // k > n
+		{"/v1/sample?n=2000&k=1", http.StatusBadRequest},                     // MaxN gate
+		{"/nope", http.StatusNotFound},
+	} {
+		code, body := get(t, s, tc.path)
+		if code != tc.code {
+			t.Errorf("GET %s: status %d, want %d (%s)", tc.path, code, tc.code, strings.TrimSpace(body))
+		}
+	}
+}
+
+// TestAt checks the point query against the library for every backend,
+// plus the O(1)-on-huge-domains property for bijective.
+func TestAt(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, backend := range []string{"sim", "shmem", "inplace", "bijective"} {
+		b, _ := randperm.ParseBackend(backend)
+		pm, err := randperm.NewPermuter(1000, randperm.Options{Procs: 8, Seed: 5, Backend: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, body := get(t, s, "/v1/perm/5/at?n=1000&i=123&backend="+backend)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", backend, code, body)
+		}
+		if want := fmt.Sprintf("%d\n", pm.At(123)); body != want {
+			t.Errorf("%s: at=%q want %q", backend, body, want)
+		}
+	}
+	// The bijective point query must work far past MaxN.
+	code, body := get(t, s, "/v1/perm/5/at?n=1099511627776&i=99999999999")
+	if code != http.StatusOK {
+		t.Fatalf("huge-domain at: status %d: %s", code, body)
+	}
+}
+
+// TestShuffleText: the shuffled lines are the library's exactly-uniform
+// shuffle of the input under the same options, and a fixed seed replays.
+func TestShuffleText(t *testing.T) {
+	s := newTestServer(t, Config{})
+	lines := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+	body := strings.Join(lines, "\n") + "\n"
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/shuffle?seed=11", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	want, _, err := randperm.ParallelShuffle(lines, randperm.Options{
+		Procs: 6, Seed: 11, Backend: randperm.BackendSharedMem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Body.String(); got != strings.Join(want, "\n")+"\n" {
+		t.Errorf("shuffle: got %q want %q", got, want)
+	}
+}
+
+// TestShuffleJSON round-trips a JSON array and verifies it is a
+// permutation of the input.
+func TestShuffleJSON(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// A parameterized media type must still be recognized as JSON — it is
+	// what axios and most HTTP clients actually send.
+	req := httptest.NewRequest("POST", "/v1/shuffle?seed=3&backend=inplace",
+		strings.NewReader(`[1, "two", {"three": 3}, null, 5]`))
+	req.Header.Set("Content-Type", "application/json; charset=utf-8")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out []any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("response is not a JSON array: %v", err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("got %d elements, want 5", len(out))
+	}
+}
+
+// TestShuffleGate: the exactness-sensitive endpoint refuses every
+// backend whose ExactUniform() is false.
+func TestShuffleGate(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/shuffle?backend=bijective", strings.NewReader("a\nb\n")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bijective shuffle: status %d, want 400", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "not exactly uniform") {
+		t.Errorf("gate error should explain the refusal, got %q", rec.Body.String())
+	}
+}
+
+// TestSample checks the service sample equals ParallelSample and stays
+// inside the domain.
+func TestSample(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, body := get(t, s, "/v1/sample?n=1000&k=10&seed=21")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	data := make([]int64, 1000)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	want, _, err := randperm.ParallelSample(data, 10, randperm.Options{Procs: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantB strings.Builder
+	for _, v := range want {
+		fmt.Fprintf(&wantB, "%d\n", v)
+	}
+	if body != wantB.String() {
+		t.Errorf("sample: got %q want %q", body, wantB.String())
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{Procs: 4})
+	code, body := get(t, s, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var h map[string]any
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz is not JSON: %v", err)
+	}
+	if h["status"] != "ok" || h["procs"] != float64(4) || h["default_backend"] != "bijective" {
+		t.Errorf("healthz fields wrong: %v", h)
+	}
+}
+
+// TestMetrics drives a known request mix and checks the counters that
+// come back out of /metrics.
+func TestMetrics(t *testing.T) {
+	s := newTestServer(t, Config{})
+	get(t, s, "/v1/perm/1/chunk?n=100&len=10&backend=inplace") // miss + materialize
+	get(t, s, "/v1/perm/1/chunk?n=100&len=10&backend=inplace") // hit
+	get(t, s, "/v1/perm/1/chunk?n=0")                          // miss (different key)
+	get(t, s, "/v1/perm/1/chunk?n=-1")                         // error
+	code, body := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		`permd_requests_total{endpoint="chunk"} 4`,
+		"permd_request_errors_total 1",
+		"permd_handle_cache_hits_total 1",
+		"permd_handle_cache_misses_total 2",
+		"permd_materializations_total 1",
+		"permd_chunk_items_total 20",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestConcurrentSameKey is the acceptance test: 1000 concurrent requests
+// for one cached handle on a materializing backend must all serve the
+// identical bytes while triggering exactly one handle construction and
+// exactly one materialization. Run under -race this also shakes the
+// single-flight seam and the pooled buffers.
+func TestConcurrentSameKey(t *testing.T) {
+	const (
+		clients = 1000
+		n       = int64(1 << 15)
+	)
+	s := newTestServer(t, Config{})
+	want := expectChunk(t, n, randperm.Options{Procs: 8, Seed: 77, Backend: randperm.BackendInPlace}, 0, 64)
+	path := fmt.Sprintf("/v1/perm/77/chunk?n=%d&len=64&backend=inplace", n)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+			if rec.Body.String() != want {
+				errs <- errors.New("response differs from library chunk")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := s.met.materializations.Load(); got != 1 {
+		t.Errorf("materializations = %d, want exactly 1 for %d concurrent requests", got, clients)
+	}
+	if got := s.met.cacheMisses.Load(); got != 1 {
+		t.Errorf("cache misses = %d, want exactly 1", got)
+	}
+	if got := s.met.cacheHits.Load(); got != clients-1 {
+		t.Errorf("cache hits = %d, want %d", got, clients-1)
+	}
+}
+
+// TestCacheEviction: a capacity-1 LRU serving two alternating keys must
+// evict every time the key flips, and re-materialize on return.
+func TestCacheEviction(t *testing.T) {
+	s := newTestServer(t, Config{MaxHandles: 1})
+	a := "/v1/perm/1/chunk?n=64&len=4&backend=inplace"
+	b := "/v1/perm/2/chunk?n=64&len=4&backend=inplace"
+	var first string
+	for i, path := range []string{a, b, a} {
+		code, body := get(t, s, path)
+		if code != http.StatusOK {
+			t.Fatalf("req %d: status %d", i, code)
+		}
+		if i == 0 {
+			first = body
+		}
+	}
+	if code, body := get(t, s, a); code != http.StatusOK || body != first {
+		t.Errorf("re-materialized handle must serve identical bytes")
+	}
+	if got := s.met.cacheEvictions.Load(); got < 2 {
+		t.Errorf("evictions = %d, want >= 2", got)
+	}
+	if got := s.met.materializations.Load(); got != 3 {
+		// a (build), b (build, evicts a), a (build again), a (hit) -> 3.
+		t.Errorf("materializations = %d, want 3", got)
+	}
+}
+
+// TestCacheErrorNotCached: a failed construction must not poison the
+// key; the next request retries and can succeed.
+func TestCacheErrorNotCached(t *testing.T) {
+	var met metrics
+	calls := 0
+	c := newHandleCache(4, &met, func(k handleKey) (*randperm.Permuter, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient")
+		}
+		return randperm.NewPermuter(k.n, randperm.Options{Seed: k.seed, Backend: k.backend})
+	})
+	key := handleKey{n: 10, seed: 1, backend: randperm.BackendBijective}
+	if _, err := c.get(key); err == nil {
+		t.Fatal("want error from first build")
+	}
+	if _, err := c.get(key); err != nil {
+		t.Fatalf("second build should retry and succeed, got %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("build ran %d times, want 2", calls)
+	}
+}
+
+// BenchmarkServeChunk measures the full HTTP path over a real TCP
+// loopback at n = 2^40: the figure BENCHMARKS.md's serving section and
+// BENCH_backends.json track (req/s and ns/item through the daemon).
+func BenchmarkServeChunk(b *testing.B) {
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	const chunkLen = 1 << 16
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (int64(i) * chunkLen) % (1 << 39)
+		resp, err := client.Get(fmt.Sprintf("%s/v1/perm/42/chunk?n=1099511627776&start=%d&len=%d", ts.URL, start, chunkLen))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	perReq := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(perReq/chunkLen, "ns/item")
+	b.ReportMetric(1e9/perReq, "req/s")
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"iter"
 	"sync"
+	"sync/atomic"
 
 	"randperm/internal/engine"
 )
@@ -46,18 +47,20 @@ import (
 // BackendBijective constant). Check Options.Backend.ExactUniform when
 // exactness matters.
 type Permuter struct {
-	n   int64
-	opt Options
-	bij *engine.Bijection // non-nil iff opt.Backend == BackendBijective
-	mat *permMat          // lazily-built state of the materializing backends
+	n    int64
+	opt  Options
+	bij  *engine.Bijection // non-nil iff opt.Backend == BackendBijective
+	mat  *permMat          // lazily-built state of the materializing backends
+	hook func()            // OnMaterialize callback, fired inside each build
 }
 
 // permMat is the lazily-materialized permutation; a fresh one is
 // installed by Reset so the sync.Once can be re-armed.
 type permMat struct {
-	once sync.Once
-	perm []int64
-	err  error
+	once  sync.Once
+	perm  []int64
+	err   error
+	built atomic.Bool // set after once.Do completes, for Materialized
 }
 
 // NewPermuter validates the options and returns a handle on the
@@ -184,6 +187,47 @@ func (p *Permuter) Reset(seed uint64) {
 	p.mat = &permMat{}
 }
 
+// Materialized reports whether the handle's lazy build has already run.
+// It is always false on BackendBijective, which never materializes
+// anything, and flips to true (until the next Reset) once any Chunk, At,
+// Iter or Materialize call on a materializing backend has completed the
+// one-time build. Long-lived holders — a handle cache in a server, say —
+// can use it to tell which cached handles are paying n words of memory
+// and which are still cheap.
+func (p *Permuter) Materialized() bool {
+	if p.mat == nil {
+		return false
+	}
+	return p.mat.built.Load()
+}
+
+// Materialize forces the lazy build now instead of on first access, and
+// reports its error. On BackendBijective it is a no-op returning nil.
+// Use it to front-load the n-word build at handle-construction time —
+// warming a cache entry, or surfacing the out-of-memory error where it
+// can still be handled — rather than inside the first request that
+// touches the handle. Like the accessors, it is safe for concurrent use
+// and racing callers share one build.
+func (p *Permuter) Materialize() error {
+	if p.bij != nil {
+		return nil
+	}
+	_, err := p.materialize()
+	return err
+}
+
+// OnMaterialize registers fn to be called exactly once per lazy build,
+// from inside whichever call (Chunk, At, Iter or Materialize) triggers
+// it, after the permutation has been constructed. A Reset re-arms the
+// build, so fn fires again if the re-keyed handle is accessed. It is a
+// hook for handle-reusing callers that need to observe build cost —
+// counting materializations in a server's metrics, logging slow builds —
+// without wrapping every accessor. Register it before the handle is
+// shared: OnMaterialize must not be called concurrently with any other
+// method. Registering nil clears the hook; on BackendBijective the hook
+// is retained but never fires.
+func (p *Permuter) OnMaterialize(fn func()) { p.hook = fn }
+
 // materialize builds (once) and returns the full permutation for the
 // materializing backends, by running the selected backend's engine over
 // the identity. Racing callers all observe the completed build.
@@ -195,6 +239,10 @@ func (p *Permuter) materialize() ([]int64, error) {
 			id[i] = int64(i)
 		}
 		m.perm, _, m.err = ParallelShuffle(id, p.opt)
+		if p.hook != nil {
+			p.hook()
+		}
+		m.built.Store(true)
 	})
 	return m.perm, m.err
 }

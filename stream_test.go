@@ -7,6 +7,7 @@ package randperm_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"randperm"
@@ -318,5 +319,78 @@ func TestPermuterErrors(t *testing.T) {
 		if backend.ExactUniform() != want {
 			t.Errorf("%v.ExactUniform() = %v", backend, backend.ExactUniform())
 		}
+	}
+}
+
+// TestPermuterHandleReuseHooks covers the surface a handle-reusing
+// server leans on: Materialized observation, explicit Materialize
+// warm-up, and the exactly-once OnMaterialize callback — including its
+// re-arming across Reset and its racing-access guarantee.
+func TestPermuterHandleReuseHooks(t *testing.T) {
+	const n = 1 << 10
+	// Materializing backend: the hook fires exactly once no matter how
+	// many goroutines race the first access.
+	pm, err := randperm.NewPermuter(n, randperm.Options{Procs: 4, Seed: 3, Backend: randperm.BackendInPlace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int64
+	pm.OnMaterialize(func() { builds.Add(1) })
+	if pm.Materialized() {
+		t.Error("Materialized before any access")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]int64, 16)
+			if _, err := pm.Chunk(buf, 0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Errorf("OnMaterialize fired %d times under racing access, want 1", got)
+	}
+	if !pm.Materialized() {
+		t.Error("Materialized false after access")
+	}
+	// Repeat access: no further builds.
+	if err := pm.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != 1 {
+		t.Errorf("Materialize after build fired the hook again (%d)", got)
+	}
+	// Reset re-arms: the hook fires once more on next access.
+	pm.Reset(4)
+	if pm.Materialized() {
+		t.Error("Materialized survived Reset")
+	}
+	if err := pm.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != 2 {
+		t.Errorf("after Reset + Materialize, builds = %d, want 2", got)
+	}
+
+	// Bijective backend: nothing ever materializes, the hook never fires.
+	bij, err := randperm.NewPermuter(1<<40, randperm.Options{Seed: 3, Backend: randperm.BackendBijective})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired atomic.Bool
+	bij.OnMaterialize(func() { fired.Store(true) })
+	if err := bij.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int64, 8)
+	if _, err := bij.Chunk(buf, 1<<39); err != nil {
+		t.Fatal(err)
+	}
+	if bij.Materialized() || fired.Load() {
+		t.Error("bijective handle claims to have materialized")
 	}
 }
