@@ -27,6 +27,7 @@ func TestParseBackend(t *testing.T) {
 		"shmem":     randperm.BackendSharedMem,
 		"inplace":   randperm.BackendInPlace,
 		"bijective": randperm.BackendBijective,
+		"cluster":   randperm.BackendCluster,
 	} {
 		got, err := randperm.ParseBackend(s)
 		if err != nil || got != want {
@@ -220,7 +221,8 @@ func TestBackendsUniform(t *testing.T) {
 	const trials = 24000
 	nf := stats.Factorial(n)
 	backends := []randperm.Backend{
-		randperm.BackendSim, randperm.BackendSharedMem, randperm.BackendInPlace,
+		randperm.BackendSim, randperm.BackendSharedMem,
+		randperm.BackendInPlace, randperm.BackendCluster,
 	}
 	for _, backend := range backends {
 		counts := make([]int64, nf)

@@ -1,9 +1,13 @@
-// Command mdlint checks the repository's markdown for broken links, so
-// CI catches a renamed file or heading before a reader does.
+// Command mdlint checks the repository's markdown, so CI catches a
+// renamed file, a dead heading or a stale code sample before a reader
+// does.
 //
-//	mdlint README.md ARCHITECTURE.md BENCHMARKS.md
+//	mdlint                # walk the tree: every *.md outside .git
+//	mdlint README.md ARCHITECTURE.md   # explicit files only
 //
-// For every inline link [text](target) it verifies:
+// Two classes of check run over every file:
+//
+// Links. For every inline link [text](target):
 //
 //   - a relative file target (README.md, docs/x.md#section) names an
 //     existing file, resolved against the linking file's directory;
@@ -13,11 +17,22 @@
 //   - absolute http(s) and mailto targets are skipped — CI must not
 //     fail on someone else's outage.
 //
-// Exit status 1 lists every broken link with file:line.
+// Code fences. Every fenced block tagged `go` that parses as a Go
+// source file, declaration list or statement list must be in canonical
+// gofmt form — docs quote code, and quoted code drifts unless a
+// machine re-reads it. Blocks that do not parse are skipped: prose
+// docs legitimately elide ("...") or abbreviate, and flagging those
+// would outlaw every illustrative fragment. The skip is reported with
+// -v so an unintentionally broken sample is still discoverable.
+//
+// Exit status 1 lists every finding with file:line.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"go/format"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -67,13 +82,87 @@ func anchorsOf(src string) map[string]bool {
 	return anchors
 }
 
+// goFence is one ```go block: its content and the line its code starts on.
+type goFence struct {
+	line int // 1-based line of the first code line
+	code string
+}
+
+// goFences extracts every fenced block whose info string names Go.
+func goFences(src string) []goFence {
+	var fences []goFence
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		trimmed := strings.TrimSpace(lines[i])
+		if !strings.HasPrefix(trimmed, "```") {
+			continue
+		}
+		info := strings.TrimSpace(strings.TrimPrefix(trimmed, "```"))
+		var body []string
+		start := i + 2 // 1-based first code line
+		for i++; i < len(lines); i++ {
+			if strings.HasPrefix(strings.TrimSpace(lines[i]), "```") {
+				break
+			}
+			body = append(body, lines[i])
+		}
+		if info == "go" || info == "golang" {
+			fences = append(fences, goFence{line: start, code: strings.Join(body, "\n")})
+		}
+	}
+	return fences
+}
+
+// checkGoFence gofmt-checks one block. It returns ("", false) when the
+// block is canonical, (reason, true) when it fails, and ("", false)
+// with skipped=true when it does not parse at all.
+func checkGoFence(code string) (reason string, failed, skipped bool) {
+	formatted, err := format.Source([]byte(code))
+	if err != nil {
+		return "", false, true
+	}
+	if strings.TrimRight(string(formatted), "\n") != strings.TrimRight(code, "\n") {
+		return "fenced go block is not gofmt'd", true, false
+	}
+	return "", false, false
+}
+
+// discover walks root for markdown files, skipping VCS and vendor trees.
+func discover(root string) ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "node_modules" || name == "vendor" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(name), ".md") {
+			files = append(files, filepath.Clean(path))
+		}
+		return nil
+	})
+	return files, err
+}
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: mdlint FILE.md ...")
-		os.Exit(2)
+	verbose := flag.Bool("v", false, "also report skipped (non-parsing) go fences")
+	flag.Parse()
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		var err error
+		if paths, err = discover("."); err != nil {
+			fmt.Fprintln(os.Stderr, "mdlint:", err)
+			os.Exit(1)
+		}
 	}
 	sources := map[string]string{} // path -> content
-	for _, path := range os.Args[1:] {
+	for _, path := range paths {
 		b, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mdlint:", err)
@@ -87,7 +176,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s:%d: %s\n", path, line, fmt.Sprintf(format, args...))
 		broken++
 	}
-	for path, src := range sources {
+	for _, path := range paths {
+		src := sources[path]
 		clean := stripFences(src)
 		for _, loc := range linkRe.FindAllStringSubmatchIndex(clean, -1) {
 			target := clean[loc[4]:loc[5]]
@@ -114,9 +204,17 @@ func main() {
 				}
 			}
 		}
+		for _, f := range goFences(src) {
+			reason, failed, skipped := checkGoFence(f.code)
+			if failed {
+				report(path, f.line, "%s", reason)
+			} else if skipped && *verbose {
+				fmt.Fprintf(os.Stderr, "%s:%d: note: go fence does not parse, format check skipped\n", path, f.line)
+			}
+		}
 	}
 	if broken > 0 {
-		fmt.Fprintf(os.Stderr, "mdlint: %d broken link(s)\n", broken)
+		fmt.Fprintf(os.Stderr, "mdlint: %d finding(s)\n", broken)
 		os.Exit(1)
 	}
 }

@@ -13,12 +13,13 @@
 //
 // Beyond the paper's experiments, -compare races the execution backends
 // (the simulated PRO machine, the shared-memory scatter engine, the
-// MergeShuffle-style in-place engine, and the keyed-bijection streaming
-// engine) on one workload:
+// MergeShuffle-style in-place engine, the keyed-bijection streaming
+// engine, and the blocked cluster decomposition) on one workload:
 //
-//	permbench -compare -n 1000000 -p 8          # four-way table
+//	permbench -compare -n 1000000 -p 8          # five-way table
 //	permbench -compare -json > BENCH_backends.json  # ns/item per backend
 //	permbench -compare -backend inplace -workers 4  # one backend only
+//	permbench -compare -cluster                 # + loopback 2/4-node clusters
 package main
 
 import (
@@ -47,14 +48,15 @@ func main() {
 		cmp      = flag.Bool("compare", false, "time the execution backends side by side and exit")
 		cmpP     = flag.Int("p", 8, "decomposition width for -compare")
 		workers  = flag.Int("workers", 0, "worker-pool cap for -compare (0 = GOMAXPROCS)")
-		backends = flag.String("backend", "all", "backends for -compare: sim, shmem, inplace, bijective or all")
+		backends = flag.String("backend", "all", "backends for -compare: sim, shmem, inplace, bijective, cluster or all")
 		serve    = flag.Bool("serve", false, "with -compare, also measure permd's HTTP chunk path (req/s, ns/item)")
+		clusterB = flag.Bool("cluster", false, "with -compare, also measure loopback 2- and 4-node permd clusters end to end")
 		jsonOut  = flag.Bool("json", false, "with -compare, emit machine-readable JSON")
 	)
 	flag.Parse()
 
 	if *cmp {
-		if err := runCompare(*n, *cmpP, *workers, *trials, *backends, *seed+1, *serve, *jsonOut); err != nil {
+		if err := runCompare(*n, *cmpP, *workers, *trials, *backends, *seed+1, *serve, *clusterB, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

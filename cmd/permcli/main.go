@@ -4,13 +4,19 @@
 // With -n it prints a uniform random permutation of 0..n-1, one value per
 // line; without it, it shuffles the lines of standard input. -p selects
 // the decomposition width, -backend the execution engine (sim, shmem,
-// inplace or bijective — the same engines the library and permd expose),
-// -alg the matrix sampling algorithm of the sim backend (opt, log or
-// seq) and -seed makes runs reproducible.
+// inplace, bijective or cluster — the same engines the library and permd
+// expose), -alg the matrix sampling algorithm of the sim backend (opt,
+// log or seq) and -seed makes runs reproducible.
 //
 //	permcli -n 10 -p 4 -seed 7
 //	permcli -n 1000000 -backend inplace -seed 7   # fast engine, same API
 //	shuf somefile | permcli -p 8                  # re-shuffle lines, uniformly
+//
+// The cluster backend prints, in one process, exactly the bytes an
+// N-node permd cluster serves for the same (seed, n, p) — which is how
+// CI verifies a live cluster against the library (see OPERATIONS.md):
+//
+//	permcli -n 1000 -backend cluster -p 8 -seed 7
 package main
 
 import (
@@ -37,7 +43,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		p       = fs.Int("p", 8, "decomposition width (simulated processors / blocks)")
 		seed    = fs.Uint64("seed", 1, "random seed")
 		alg     = fs.String("alg", "opt", "matrix algorithm for -backend sim: opt, log or seq")
-		backend = fs.String("backend", "sim", "execution backend: sim, shmem, inplace or bijective")
+		backend = fs.String("backend", "sim", "execution backend: sim, shmem, inplace, bijective or cluster")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {

@@ -8,6 +8,17 @@
 //	permd                               # listen on :8080
 //	permd -addr 127.0.0.1:9090 -procs 8 -max-handles 256
 //
+// A cluster of permd processes serves one sharded permutation space
+// cooperatively: every node gets the same -peers list (and the same
+// -procs) and its own -node index, and backend=cluster requests to any
+// node return the same bytes a single-node run would — see
+// OPERATIONS.md for the full runbook.
+//
+//	permd -addr :8080 -node 0 -peers http://a:8080,http://b:8080
+//	permd -addr :8080 -node 1 -peers http://a:8080,http://b:8080
+//	curl 'a:8080/v1/perm/7/chunk?n=1000000&backend=cluster'
+//	curl a:8080/v1/cluster/status
+//
 //	curl 'localhost:8080/v1/perm/42/chunk?n=1099511627776&start=7000000&len=5'
 //	curl 'localhost:8080/v1/perm/42/at?n=1099511627776&i=7000003'
 //	printf 'a\nb\nc\n' | curl --data-binary @- 'localhost:8080/v1/shuffle?seed=7'
@@ -25,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,10 +51,20 @@ func main() {
 		maxN       = flag.Int64("max-n", 1<<24, "largest n served by materializing backends, /v1/shuffle and /v1/sample")
 		maxChunk   = flag.Int("max-chunk", 1<<16, "chunk buffer length and default chunk len")
 		maxBody    = flag.Int64("max-body", 32<<20, "largest /v1/shuffle request body in bytes")
-		backend    = flag.String("backend", "bijective", "default backend for /v1/perm endpoints: sim, shmem, inplace or bijective")
+		backend    = flag.String("backend", "bijective", "default backend for /v1/perm endpoints: sim, shmem, inplace, bijective or cluster")
+		peers      = flag.String("peers", "", "comma-separated base URLs of every cluster node, in cluster order (enables cluster mode)")
+		node       = flag.Int("node", 0, "this node's index into -peers")
 	)
 	flag.Parse()
 
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
 	handler, err := service.New(service.Config{
 		Procs:          *procs,
 		MaxHandles:     *maxHandles,
@@ -50,6 +72,8 @@ func main() {
 		MaxChunk:       *maxChunk,
 		MaxBody:        *maxBody,
 		DefaultBackend: *backend,
+		ClusterPeers:   peerList,
+		ClusterNode:    *node,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "permd:", err)
@@ -66,7 +90,12 @@ func main() {
 	defer stop()
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
-	log.Printf("permd: listening on %s (procs=%d default backend=%s)", *addr, *procs, *backend)
+	if len(peerList) > 0 {
+		log.Printf("permd: listening on %s (procs=%d default backend=%s, cluster node %d of %d)",
+			*addr, *procs, *backend, *node, len(peerList))
+	} else {
+		log.Printf("permd: listening on %s (procs=%d default backend=%s)", *addr, *procs, *backend)
+	}
 
 	select {
 	case err := <-done:

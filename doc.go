@@ -24,7 +24,7 @@
 //   - Exact distribution sampling: Hypergeometric, MultivariateHypergeometric,
 //     CommMatrix with its exact probability CommMatrixLogProb.
 //   - Parallel shuffling: ParallelShuffle and ParallelShuffleBlocks run
-//     the paper's Algorithm 1 on one of four interchangeable backends
+//     the paper's Algorithm 1 on one of five interchangeable backends
 //     (Options.Backend). BackendSim, the default, simulates the coarse
 //     grained machine with goroutine "processors", with the
 //     communication matrix sampled by Algorithm 3 at the root
@@ -50,9 +50,14 @@
 //     arXiv:2106.06161) - in O(1) state per index; it is the one
 //     backend that is not exactly uniform over S_n (a 2^64-key family
 //     with uniform marginals; gate with Backend.ExactUniform).
-//     Options.Parallelism caps the worker pool of the latter three; see
-//     ARCHITECTURE.md for the full layer map, the choosing-a-backend
-//     decision table and the per-backend determinism contract.
+//     BackendCluster runs the blocked decomposition - even blocks,
+//     exact fixed-margin matrix - whose geometry survives a network
+//     boundary: an N-node permd cluster (internal/cluster) computes
+//     the identical bytes cooperatively, each node owning a shard.
+//     Options.Parallelism caps the worker pool of the non-sim
+//     backends; see ARCHITECTURE.md for the full layer map, the
+//     choosing-a-backend decision table and the per-backend
+//     determinism contract.
 //   - Streaming: NewPermuter returns a Permuter, a reusable handle on
 //     one fixed permutation of [0, n) that is pulled on demand - Chunk
 //     fills a caller-owned page, Iter ranges over the whole order, At
@@ -72,8 +77,13 @@
 // Above the package sits the permd daemon (cmd/permd, backed by
 // internal/service): the same machinery as a long-running HTTP service
 // with a single-flight LRU of Permuter handles, streamed chunk
-// responses and Prometheus metrics. The Materialize, Materialized and
-// OnMaterialize methods on Permuter exist for such handle-reusing
-// callers. See the service layer section of ARCHITECTURE.md and the
-// operator guide in README.md.
+// responses and Prometheus metrics — deployable standalone or as an
+// N-node cluster in which each daemon owns one shard of the permuted
+// domain and serves the rest by routing (internal/cluster; the
+// ChunkSource seam and NewPermuterSource are how such externally
+// backed permutations ride the streaming API). The Materialize,
+// Materialized and OnMaterialize methods on Permuter exist for such
+// handle-reusing callers. See the service layer and cluster layer
+// sections of ARCHITECTURE.md, the operator guide in README.md, and
+// the deployment runbook in OPERATIONS.md.
 package randperm

@@ -65,6 +65,35 @@ func ExampleOptions_backend() {
 	// inplace n=1000 procs=4 accounted=false
 }
 
+// The cluster backend: BackendCluster computes the blocked
+// coarse-grained decomposition whose geometry survives a network
+// boundary — the permutation an N-node permd cluster serves
+// cooperatively is byte-identical to this in-process run for the same
+// (Seed, n, Procs). It is exactly uniform (unlike BackendBijective),
+// so it passes the exactness gate, and it is the backend to pick when
+// the same shuffle must be reproduced by machines that each hold only
+// a shard of it (see OPERATIONS.md for deploying the cluster).
+func ExampleOptions_cluster() {
+	data := make([]int64, 10)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	out, report, err := randperm.ParallelShuffle(data, randperm.Options{
+		Procs:   4, // the cluster-wide decomposition width p
+		Seed:    7,
+		Backend: randperm.BackendCluster,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("backend=%s exactly-uniform=%v procs=%d\n",
+		randperm.BackendCluster, randperm.BackendCluster.ExactUniform(), report.Procs)
+	fmt.Println(out)
+	// Output:
+	// backend=cluster exactly-uniform=true procs=4
+	// [1 6 4 9 7 5 0 8 3 2]
+}
+
 // Worker-count scaling: Options.Parallelism caps the goroutine worker
 // pool of the SharedMem and InPlace backends. It only changes how many
 // OS-level workers execute the phases — randomness is bound to blocks

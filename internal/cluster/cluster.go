@@ -1,0 +1,370 @@
+// Package cluster realizes the paper's coarse grained model across real
+// machine boundaries: N permd peers each own a contiguous shard of the
+// permuted index domain [0, n) and cooperate to compute the exact
+// blocked CGM permutation of internal/engine (PermuteSliceCGM) in the
+// paper's O(1) communication rounds, over HTTP.
+//
+// The decomposition is the engine's: p even blocks (p = Config.Procs,
+// the cluster-wide decomposition width), assigned contiguously to the N
+// nodes. A node builds its shard of the permutation in three rounds:
+//
+//	round 1  every node samples the p x p communication matrix locally
+//	         from stream 0 of the shared seed — no network; the matrix
+//	         is a pure function of (seed, n, p), so all nodes hold
+//	         identical copies by construction;
+//	round 2  the h-relation: each node draws the label arrangements of
+//	         its own source blocks (engine.ArrangeRow on the blocks'
+//	         streams) and every node fetches, from each peer, the
+//	         element payloads routed to its target blocks, tagged with
+//	         the matrix entries they realize — the receiver verifies
+//	         each received count against its own matrix row, so a seed
+//	         or width mismatch is detected, not silently mixed;
+//	round 3  each node arranges its target blocks in place from the
+//	         blocks' streams (engine.LocalShuffle on the engine's
+//	         worker pool) — again no network.
+//
+// Because rounds 1 and 3 consume exactly the streams the single-process
+// engine consumes and round 2 reproduces its routing, the assembled
+// cluster permutation is byte-identical to PermuteSliceCGM over the
+// same (seed, n, p) — the network determinism contract stated in
+// ARCHITECTURE.md and enforced by the tests. Exactness is inherited the
+// same way: the law is Algorithm 1 with the exact fixed-margin matrix,
+// uniform over all n! permutations.
+package cluster
+
+import (
+	"container/list"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"randperm/internal/commat"
+	"randperm/internal/core"
+	"randperm/internal/engine"
+)
+
+// Config wires one node into a cluster. All nodes must agree on Procs
+// and on the order (and count) of Peers; each node differs only in
+// Self. The zero values of the sizing fields get defaults from New.
+type Config struct {
+	// Self is this node's index in Peers.
+	Self int
+	// Peers lists the base URLs of every node in the cluster, in the
+	// cluster-wide node order — Peers[Self] is this node and is never
+	// dialed. A single-element Peers is a valid one-node cluster that
+	// performs no network traffic at all.
+	Peers []string
+	// Procs is the cluster-wide decomposition width p: the total block
+	// count across all nodes (default 8). It must be at least
+	// len(Peers) so every node owns at least one block, and every node
+	// must use the same value — it is part of the permutation's
+	// identity, exactly as on a single machine.
+	Procs int
+	// Workers caps this node's local pool goroutines (<= 0 means
+	// GOMAXPROCS). Purely local: it cannot affect any byte served.
+	Workers int
+	// MaxShards caps the node's shard cache (default 8). Each resident
+	// shard for a size-n domain holds about 8n/len(Peers) bytes.
+	MaxShards int
+	// MaxN, when positive, bounds the domain size the peer-facing
+	// endpoints accept — the cluster-side mirror of the service
+	// layer's materialization gate, so an unauthenticated request to
+	// /v1/cluster/* cannot trigger an arbitrarily large arrangement or
+	// shard build that the public API would have refused. The permd
+	// service wires its own -max-n here.
+	MaxN int64
+	// Client performs the peer requests (default: 60 s timeout).
+	Client *http.Client
+}
+
+// Node is one member of the cluster: it computes and caches shards,
+// serves the /v1/cluster/* endpoints to its peers, and hands out
+// Permuter handles that route any index range to its owner.
+type Node struct {
+	cfg    Config
+	client *http.Client
+
+	mu     sync.Mutex
+	shards map[shardKey]*list.Element // value: *shardEntry
+	lru    *list.List                 // front = most recently used
+
+	// Counters for /v1/cluster/status and the permd /metrics page.
+	exchangeReqs  atomic.Int64 // exchange requests served to peers
+	exchangeItems atomic.Int64 // values shipped in exchange responses
+	chunkReqs     atomic.Int64 // shard-local chunk requests served
+	chunkItems    atomic.Int64 // values served from the local shard
+	proxyReqs     atomic.Int64 // chunk requests this node sent to peers
+	proxyItems    atomic.Int64 // values fetched from peers
+	shardBuilds   atomic.Int64 // shards assembled (cache misses)
+	shardBuildNs  atomic.Int64 // wall time spent assembling shards
+}
+
+// New validates cfg and returns the node. It performs no network I/O:
+// peers are only contacted when a shard build or a routed chunk needs
+// them.
+func New(cfg Config) (*Node, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one peer URL")
+	}
+	if cfg.Self < 0 || cfg.Self >= len(cfg.Peers) {
+		return nil, fmt.Errorf("cluster: node index %d outside [0, %d)", cfg.Self, len(cfg.Peers))
+	}
+	if cfg.Procs == 0 {
+		cfg.Procs = 8
+	}
+	if cfg.Procs < len(cfg.Peers) {
+		return nil, fmt.Errorf("cluster: decomposition width %d smaller than cluster size %d — every node must own at least one block", cfg.Procs, len(cfg.Peers))
+	}
+	if cfg.MaxShards <= 0 {
+		cfg.MaxShards = 8
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Node{
+		cfg:    cfg,
+		client: client,
+		shards: make(map[shardKey]*list.Element),
+		lru:    list.New(),
+	}, nil
+}
+
+// Self returns this node's index; Nodes the cluster size; Procs the
+// cluster-wide decomposition width.
+func (nd *Node) Self() int  { return nd.cfg.Self }
+func (nd *Node) Nodes() int { return len(nd.cfg.Peers) }
+func (nd *Node) Procs() int { return nd.cfg.Procs }
+
+// blockSpan returns the contiguous block range [lo, hi) node k owns out
+// of p blocks distributed as evenly as possible over `nodes` nodes (the
+// first p mod nodes nodes own one extra block).
+func blockSpan(p, nodes, k int) (lo, hi int) {
+	q, r := p/nodes, p%nodes
+	lo = k*q + min(k, r)
+	hi = lo + q
+	if k < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// ownerOfBlock inverts blockSpan: the node owning block b.
+func ownerOfBlock(p, nodes, b int) int {
+	q, r := p/nodes, p%nodes
+	if t := r * (q + 1); b < t {
+		return b / (q + 1)
+	} else {
+		return r + (b-t)/q
+	}
+}
+
+// blockOfIndex returns the even-layout block containing global index
+// idx, inverting core.EvenBlocks arithmetic without materializing it.
+func blockOfIndex(n int64, p int, idx int64) int {
+	base, rem := n/int64(p), n%int64(p)
+	if t := rem * (base + 1); idx < t {
+		return int(idx / (base + 1))
+	} else {
+		return int(rem + (idx-t)/base)
+	}
+}
+
+// ShardRange returns the index range [lo, hi) of the domain [0, n) that
+// node k serves: the concatenation of its contiguous target blocks.
+func (nd *Node) ShardRange(n int64, k int) (lo, hi int64) {
+	off := blockOffsets(n, nd.cfg.Procs)
+	blo, bhi := blockSpan(nd.cfg.Procs, len(nd.cfg.Peers), k)
+	return off[blo], off[bhi]
+}
+
+// Owner returns the node index serving global output index idx of a
+// size-n domain.
+func (nd *Node) Owner(n, idx int64) int {
+	return ownerOfBlock(nd.cfg.Procs, len(nd.cfg.Peers), blockOfIndex(n, nd.cfg.Procs, idx))
+}
+
+// blockOffsets returns the p+1 prefix offsets of core.EvenBlocks(n, p).
+func blockOffsets(n int64, p int) []int64 {
+	sizes := core.EvenBlocks(n, p)
+	off := make([]int64, p+1)
+	for i, s := range sizes {
+		off[i+1] = off[i] + s
+	}
+	return off
+}
+
+// shardKey identifies one shard this node can hold. Procs and the node
+// layout are fixed per Node, so (n, seed) suffices.
+type shardKey struct {
+	n    int64
+	seed uint64
+}
+
+// Shard is this node's slice of one permutation: Vals[i] == π(Start+i)
+// for the cluster permutation π of (seed, n, Procs).
+type Shard struct {
+	Start, End int64
+	Vals       []int64
+}
+
+// shardEntry is one cache slot with single-flight construction,
+// mirroring the service handle cache: racing requests share one build.
+type shardEntry struct {
+	key   shardKey
+	once  sync.Once
+	sh    *Shard
+	err   error
+	built atomic.Bool // set after once.Do completes
+}
+
+// shard returns the cached shard for (n, seed), building it (once,
+// shared across racing callers) on a miss. Build failures are not
+// cached.
+func (nd *Node) shard(n int64, seed uint64) (*Shard, error) {
+	key := shardKey{n: n, seed: seed}
+	nd.mu.Lock()
+	var e *shardEntry
+	if el, ok := nd.shards[key]; ok {
+		nd.lru.MoveToFront(el)
+		e = el.Value.(*shardEntry)
+	} else {
+		e = &shardEntry{key: key}
+		nd.shards[key] = nd.lru.PushFront(e)
+		for nd.lru.Len() > nd.cfg.MaxShards {
+			oldest := nd.lru.Back()
+			nd.lru.Remove(oldest)
+			delete(nd.shards, oldest.Value.(*shardEntry).key)
+		}
+	}
+	nd.mu.Unlock()
+
+	e.once.Do(func() {
+		began := time.Now()
+		e.sh, e.err = nd.buildShard(n, seed)
+		if e.err == nil {
+			nd.shardBuilds.Add(1)
+			nd.shardBuildNs.Add(time.Since(began).Nanoseconds())
+		}
+		e.built.Store(true)
+	})
+	if e.err != nil {
+		nd.mu.Lock()
+		if el, ok := nd.shards[key]; ok && el.Value.(*shardEntry) == e {
+			nd.lru.Remove(el)
+			delete(nd.shards, key)
+		}
+		nd.mu.Unlock()
+		return nil, e.err
+	}
+	return e.sh, nil
+}
+
+// shardResident reports whether the (n, seed) shard is built, without
+// building it. An entry that is still mid-build reports false.
+func (nd *Node) shardResident(n int64, seed uint64) bool {
+	nd.mu.Lock()
+	el, ok := nd.shards[shardKey{n: n, seed: seed}]
+	nd.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e := el.Value.(*shardEntry)
+	return e.built.Load() && e.err == nil
+}
+
+// buildShard runs the three rounds for this node's shard of the
+// (seed, n) permutation.
+func (nd *Node) buildShard(n int64, seed uint64) (*Shard, error) {
+	p, nodes, self := nd.cfg.Procs, len(nd.cfg.Peers), nd.cfg.Self
+	sizes := core.EvenBlocks(n, p)
+	off := blockOffsets(n, p)
+	blo, bhi := blockSpan(p, nodes, self)
+	start, end := off[blo], off[bhi]
+	vals := make([]int64, end-start)
+
+	// Round 1: the communication matrix, sampled locally. Stream 0 of
+	// the shared seed — every node derives the same matrix.
+	streams := engine.CGMStreams(seed, p)
+	a := commat.SampleSeq(streams[0], sizes, sizes)
+
+	// Within owned target block j, source i's segment begins at the
+	// column prefix sum colCum[j-blo][i] (sources in rank order — the
+	// same layout scatterStarts gives the single-process engine).
+	colCum := make([][]int64, bhi-blo)
+	for j := blo; j < bhi; j++ {
+		cum := make([]int64, p+1)
+		for i := 0; i < p; i++ {
+			cum[i+1] = cum[i] + a.At(i, j)
+		}
+		colCum[j-blo] = cum
+	}
+	// place copies source i's segment for owned target j.
+	place := func(i, j int, seg []int64) {
+		base := off[j] - start + colCum[j-blo][i]
+		copy(vals[base:base+int64(len(seg))], seg)
+	}
+
+	// Round 2, local half: this node's own source blocks route to its
+	// own target blocks by a memory copy.
+	for i := blo; i < bhi; i++ {
+		labels := engine.ArrangeRow(streams[1+i], a.Row(i))
+		fill := make([]int64, bhi-blo)
+		for t, lab := range labels {
+			j := int(lab)
+			if j < blo || j >= bhi {
+				continue
+			}
+			base := off[j] - start + colCum[j-blo][i]
+			vals[base+fill[j-blo]] = off[i] + int64(t)
+			fill[j-blo]++
+		}
+	}
+
+	// Round 2, remote half: the h-relation. Fetch from every peer the
+	// payloads its source blocks route to our target blocks; each
+	// received segment is verified against our own matrix entry before
+	// placement. Peers are fetched concurrently — their target segments
+	// are disjoint by construction.
+	var wg sync.WaitGroup
+	errs := make([]error, nodes)
+	for r := 0; r < nodes; r++ {
+		if r == self {
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = nd.fetchExchange(r, n, seed, a, place)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Round 3: arrange every owned target block in place from its own
+	// stream, on the engine's worker pool.
+	pool := engine.NewPool(min(nd.workers(), bhi-blo), seed)
+	defer pool.Close()
+	if err := pool.For(bhi-blo, func(jj int) {
+		j := blo + jj
+		blk := vals[off[j]-start : off[j+1]-start]
+		engine.LocalShuffle(streams[1+p+j], blk)
+	}); err != nil {
+		return nil, err
+	}
+	return &Shard{Start: start, End: end, Vals: vals}, nil
+}
+
+func (nd *Node) workers() int {
+	if nd.cfg.Workers > 0 {
+		return nd.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,412 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"randperm/internal/commat"
+	"randperm/internal/core"
+	"randperm/internal/engine"
+)
+
+// The exchange wire format (one round-2 h-relation leg, server -> one
+// requesting peer) is length-prefixed little-endian binary:
+//
+//	magic  "RPX1"                                    4 bytes
+//	seed   uint64 | n int64                          config echo —
+//	p, nodes, from, to  4 x int32                    verified by both ends
+//	then, for each source block i the server owns, ascending:
+//	  i      int32
+//	  for each target block j the requester owns, ascending:
+//	    count  int64        the matrix entry a_ij this segment realizes
+//	    count x int64       the routed element payloads, in source order
+//
+// The counts ARE the server's matrix row entries, so the exchange
+// carries matrix rows and payloads in one stream; the requester checks
+// every count against its own locally sampled matrix and refuses the
+// response on any mismatch — a diverging seed, width or cluster layout
+// is an error, never a silently mixed permutation.
+
+const exchangeMagic = "RPX1"
+
+// Handler returns the node's peer-facing API, rooted at /v1/cluster/:
+//
+//	GET /v1/cluster/exchange?n=&seed=&p=&nodes=&to=   round-2 payloads for peer `to`
+//	GET /v1/cluster/chunk?n=&seed=&start=&len=        shard-local values, binary LE int64
+//	GET /v1/cluster/status                            JSON node/cluster introspection
+//
+// Mount it on the same server that serves the public permd API (the
+// service layer does) or on its own listener.
+func (nd *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster/exchange", nd.handleExchange)
+	mux.HandleFunc("GET /v1/cluster/chunk", nd.handleChunk)
+	mux.HandleFunc("GET /v1/cluster/status", nd.handleStatus)
+	return mux
+}
+
+// queryInt64 parses a required decimal query parameter.
+func queryInt64(r *http.Request, name string) (int64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing %s", name)
+	}
+	x, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: want a decimal integer", name, v)
+	}
+	return x, nil
+}
+
+// queryN parses and gates the domain size of a peer request: the
+// peer-facing endpoints must not accept work the public API would
+// refuse (Config.MaxN).
+func (nd *Node) queryN(r *http.Request) (int64, error) {
+	n, err := queryInt64(r, "n")
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad n: %v", err)
+	}
+	if nd.cfg.MaxN > 0 && n > nd.cfg.MaxN {
+		return 0, fmt.Errorf("n=%d exceeds this node's bound %d", n, nd.cfg.MaxN)
+	}
+	return n, nil
+}
+
+// handleExchange serves round 2 to one requesting peer: the label
+// arrangements of this node's source blocks are drawn from their
+// streams and the payload segments destined for the requester's target
+// blocks are streamed out, each prefixed with the matrix entry it
+// realizes.
+//
+// The handler is deliberately stateless: the matrix and arrangements
+// are recomputed per request rather than cached per (n, seed). With
+// N-1 requesters per permutation that redoes the O(n/N) arrangement
+// work N-1 times per node — the trade is bounded peer-facing memory
+// (O(m_i) per in-flight request, no second cache to size against the
+// shard LRU) for CPU that is already dwarfed by a shard build's wire
+// traffic. If exchange CPU ever dominates a profile, the fix is a
+// per-(n, seed) arrangement cache beside the shard cache.
+func (nd *Node) handleExchange(w http.ResponseWriter, r *http.Request) {
+	nd.exchangeReqs.Add(1)
+	q := r.URL.Query()
+	n, err := nd.queryN(r)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cluster: %v", err), http.StatusBadRequest)
+		return
+	}
+	seed, err := strconv.ParseUint(q.Get("seed"), 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cluster: bad seed %q", q.Get("seed")), http.StatusBadRequest)
+		return
+	}
+	// Config echo: a requester with a different width or layout gets a
+	// conflict naming both values, the cluster's first line of defense
+	// against serving bytes from a different permutation.
+	if pv := q.Get("p"); pv != strconv.Itoa(nd.cfg.Procs) {
+		http.Error(w, fmt.Sprintf("cluster: decomposition width mismatch: peer p=%s, this node p=%d", pv, nd.cfg.Procs), http.StatusConflict)
+		return
+	}
+	if nv := q.Get("nodes"); nv != strconv.Itoa(len(nd.cfg.Peers)) {
+		http.Error(w, fmt.Sprintf("cluster: cluster size mismatch: peer nodes=%s, this node nodes=%d", nv, len(nd.cfg.Peers)), http.StatusConflict)
+		return
+	}
+	to64, err := queryInt64(r, "to")
+	to := int(to64)
+	if err != nil || to < 0 || to >= len(nd.cfg.Peers) || to == nd.cfg.Self {
+		http.Error(w, fmt.Sprintf("cluster: bad to=%q: want a peer index other than this node's %d", q.Get("to"), nd.cfg.Self), http.StatusBadRequest)
+		return
+	}
+
+	p, nodes, self := nd.cfg.Procs, len(nd.cfg.Peers), nd.cfg.Self
+	sizes := core.EvenBlocks(n, p)
+	off := blockOffsets(n, p)
+	streams := engine.CGMStreams(seed, p)
+	a := commat.SampleSeq(streams[0], sizes, sizes)
+	sLo, sHi := blockSpan(p, nodes, self) // our source blocks
+	tLo, tHi := blockSpan(p, nodes, to)   // the requester's target blocks
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	bw := bufio.NewWriterSize(w, 1<<15)
+	writeU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		bw.Write(b[:])
+	}
+	writeI32 := func(v int32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		bw.Write(b[:])
+	}
+	bw.WriteString(exchangeMagic)
+	writeU64(seed)
+	writeU64(uint64(n))
+	writeI32(int32(p))
+	writeI32(int32(nodes))
+	writeI32(int32(self))
+	writeI32(int32(to))
+
+	var shipped int64
+	for i := sLo; i < sHi; i++ {
+		labels := engine.ArrangeRow(streams[1+i], a.Row(i))
+		// Bucket this source block's payloads for the requester's
+		// targets only; one pass over the labels.
+		segs := make([][]int64, tHi-tLo)
+		for j := tLo; j < tHi; j++ {
+			segs[j-tLo] = make([]int64, 0, a.At(i, j))
+		}
+		for t, lab := range labels {
+			if j := int(lab); j >= tLo && j < tHi {
+				segs[j-tLo] = append(segs[j-tLo], off[i]+int64(t))
+			}
+		}
+		writeI32(int32(i))
+		for j := tLo; j < tHi; j++ {
+			seg := segs[j-tLo]
+			writeU64(uint64(len(seg)))
+			for _, v := range seg {
+				writeU64(uint64(v))
+			}
+			shipped += int64(len(seg))
+		}
+	}
+	bw.Flush()
+	nd.exchangeItems.Add(shipped)
+}
+
+// fetchExchange performs one requester leg of round 2: it pulls from
+// peer r the payloads r's source blocks route into this node's target
+// blocks and hands each verified segment to place(i, j, seg).
+func (nd *Node) fetchExchange(r int, n int64, seed uint64, a *commat.Matrix, place func(i, j int, seg []int64)) error {
+	p, nodes, self := nd.cfg.Procs, len(nd.cfg.Peers), nd.cfg.Self
+	u := fmt.Sprintf("%s/v1/cluster/exchange?n=%d&seed=%d&p=%d&nodes=%d&to=%d",
+		nd.cfg.Peers[r], n, seed, p, nodes, self)
+	resp, err := nd.client.Get(u)
+	if err != nil {
+		return fmt.Errorf("cluster: exchange with node %d: %w", r, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: exchange with node %d: %s: %s", r, resp.Status, msg)
+	}
+	br := bufio.NewReaderSize(resp.Body, 1<<15)
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	readI32 := func() (int32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return int32(binary.LittleEndian.Uint32(b[:])), nil
+	}
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("cluster: exchange with node %d: %s", r, fmt.Sprintf(format, args...))
+	}
+
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return bad("reading header: %v", err)
+	}
+	if string(magic[:]) != exchangeMagic {
+		return bad("bad magic %q", magic)
+	}
+	hdr := make([]uint64, 2)
+	for i := range hdr {
+		if hdr[i], err = readU64(); err != nil {
+			return bad("reading header: %v", err)
+		}
+	}
+	ints := make([]int32, 4)
+	for i := range ints {
+		if ints[i], err = readI32(); err != nil {
+			return bad("reading header: %v", err)
+		}
+	}
+	if hdr[0] != seed || int64(hdr[1]) != n || int(ints[0]) != p ||
+		int(ints[1]) != nodes || int(ints[2]) != r || int(ints[3]) != self {
+		return bad("config echo mismatch: got (seed=%d n=%d p=%d nodes=%d from=%d to=%d), want (%d %d %d %d %d %d)",
+			hdr[0], int64(hdr[1]), ints[0], ints[1], ints[2], ints[3], seed, n, p, nodes, r, self)
+	}
+
+	sLo, sHi := blockSpan(p, nodes, r)
+	tLo, tHi := blockSpan(p, nodes, self)
+	for i := sLo; i < sHi; i++ {
+		gotI, err := readI32()
+		if err != nil {
+			return bad("reading source header: %v", err)
+		}
+		if int(gotI) != i {
+			return bad("source block sequence broken: got %d, want %d", gotI, i)
+		}
+		for j := tLo; j < tHi; j++ {
+			count, err := readU64()
+			if err != nil {
+				return bad("reading segment count: %v", err)
+			}
+			// The matrix-row check: the shipped count must realize the
+			// entry this node sampled locally.
+			if want := a.At(i, j); int64(count) != want {
+				return bad("matrix disagreement at a[%d][%d]: peer shipped %d values, local matrix says %d — the nodes are not running the same (seed, n, p, nodes)", i, j, count, want)
+			}
+			seg := make([]int64, count)
+			for t := range seg {
+				v, err := readU64()
+				if err != nil {
+					return bad("reading segment payload: %v", err)
+				}
+				seg[t] = int64(v)
+			}
+			place(i, j, seg)
+		}
+	}
+	return nil
+}
+
+// handleChunk serves values of the (seed, n) permutation strictly from
+// this node's own shard, as little-endian int64s: the peer-to-peer leg
+// of a routed Permuter.Chunk. A range that leaves the shard is refused
+// (416) — the caller, not this node, is responsible for routing, which
+// is what makes proxy loops impossible by construction.
+func (nd *Node) handleChunk(w http.ResponseWriter, r *http.Request) {
+	nd.chunkReqs.Add(1)
+	n, err := nd.queryN(r)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cluster: %v", err), http.StatusBadRequest)
+		return
+	}
+	seed, err := strconv.ParseUint(r.URL.Query().Get("seed"), 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cluster: bad seed %q", r.URL.Query().Get("seed")), http.StatusBadRequest)
+		return
+	}
+	start, err := queryInt64(r, "start")
+	if err != nil || start < 0 {
+		http.Error(w, fmt.Sprintf("cluster: bad start: %v", err), http.StatusBadRequest)
+		return
+	}
+	length, err := queryInt64(r, "len")
+	if err != nil || length < 0 {
+		http.Error(w, fmt.Sprintf("cluster: bad len: %v", err), http.StatusBadRequest)
+		return
+	}
+	lo, hi := nd.ShardRange(n, nd.cfg.Self)
+	// length is compared against the remaining extent, never added to
+	// start: start+length could overflow int64 and slip past the guard.
+	if start < lo || start > hi || length > hi-start {
+		http.Error(w, fmt.Sprintf("cluster: range starting at %d for %d values outside this node's shard [%d, %d)",
+			start, length, lo, hi), http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	sh, err := nd.shard(n, seed)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cluster: building shard: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	bw := bufio.NewWriterSize(w, 1<<15)
+	var b [8]byte
+	for _, v := range sh.Vals[start-sh.Start : start-sh.Start+length] {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		if _, err := bw.Write(b[:]); err != nil {
+			return
+		}
+	}
+	bw.Flush()
+	nd.chunkItems.Add(length)
+}
+
+// fetchChunk pulls values [start, start+len(dst)) from the owning peer
+// r's shard into dst.
+func (nd *Node) fetchChunk(r int, n int64, seed uint64, dst []int64, start int64) error {
+	u := fmt.Sprintf("%s/v1/cluster/chunk?n=%d&seed=%d&start=%d&len=%d",
+		nd.cfg.Peers[r], n, seed, start, len(dst))
+	resp, err := nd.client.Get(u)
+	if err != nil {
+		return fmt.Errorf("cluster: chunk from node %d: %w", r, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: chunk from node %d: %s: %s", r, resp.Status, msg)
+	}
+	buf := make([]byte, 8*len(dst))
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		return fmt.Errorf("cluster: chunk from node %d: short read: %w", r, err)
+	}
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	nd.proxyReqs.Add(1)
+	nd.proxyItems.Add(int64(len(dst)))
+	return nil
+}
+
+// handleStatus serves a JSON introspection page: the node's place in
+// the cluster, the peer list, resident shards and traffic counters —
+// the operator's first stop when two nodes disagree (see
+// OPERATIONS.md).
+func (nd *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	type shardInfo struct {
+		N     int64  `json:"n"`
+		Seed  uint64 `json:"seed"`
+		Start int64  `json:"start"`
+		End   int64  `json:"end"`
+	}
+	var resident []shardInfo
+	nd.mu.Lock()
+	for el := nd.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*shardEntry)
+		if e.built.Load() && e.err == nil {
+			resident = append(resident, shardInfo{
+				N: e.key.n, Seed: e.key.seed, Start: e.sh.Start, End: e.sh.End,
+			})
+		}
+	}
+	nd.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"node":            nd.cfg.Self,
+		"nodes":           len(nd.cfg.Peers),
+		"procs":           nd.cfg.Procs,
+		"peers":           nd.cfg.Peers,
+		"max_shards":      nd.cfg.MaxShards,
+		"resident_shards": resident,
+		"counters": map[string]int64{
+			"exchange_requests": nd.exchangeReqs.Load(),
+			"exchange_items":    nd.exchangeItems.Load(),
+			"chunk_requests":    nd.chunkReqs.Load(),
+			"chunk_items":       nd.chunkItems.Load(),
+			"proxied_requests":  nd.proxyReqs.Load(),
+			"proxied_items":     nd.proxyItems.Load(),
+			"shard_builds":      nd.shardBuilds.Load(),
+			"shard_build_ns":    nd.shardBuildNs.Load(),
+		},
+	})
+}
+
+// WriteMetrics appends the node's counters to a Prometheus text page,
+// in the permd_cluster_* namespace; the service layer calls it from
+// /metrics when cluster mode is on.
+func (nd *Node) WriteMetrics(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("permd_cluster_exchange_requests_total", "Round-2 exchange requests served to peers.", nd.exchangeReqs.Load())
+	counter("permd_cluster_exchange_items_total", "Values shipped to peers in exchange responses.", nd.exchangeItems.Load())
+	counter("permd_cluster_chunk_requests_total", "Shard-local chunk requests served to peers.", nd.chunkReqs.Load())
+	counter("permd_cluster_chunk_items_total", "Values served to peers from the local shard.", nd.chunkItems.Load())
+	counter("permd_cluster_proxied_requests_total", "Chunk requests this node sent to owning peers.", nd.proxyReqs.Load())
+	counter("permd_cluster_proxied_items_total", "Values fetched from owning peers.", nd.proxyItems.Load())
+	counter("permd_cluster_shard_builds_total", "Shards assembled through the three exchange rounds.", nd.shardBuilds.Load())
+	counter("permd_cluster_shard_build_ns_total", "Wall nanoseconds spent assembling shards.", nd.shardBuildNs.Load())
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import "fmt"
+
+// Permuter is a handle on the cluster permutation of (seed, n): the
+// same bytes engine.PermuteSliceCGM computes in one process, served
+// shard by shard across the cluster. It implements the randperm
+// ChunkSource contract, so the public streaming API (and the permd
+// chunk endpoint behind it) can sit directly on top: a Chunk request is
+// split at shard boundaries, the local span is copied from this node's
+// shard and every remote span is fetched from its owning peer's
+// shard-local chunk endpoint. Routing happens exactly once — peers only
+// ever serve their own shard — so no request can loop.
+type Permuter struct {
+	nd   *Node
+	n    int64
+	seed uint64
+}
+
+// Permuter returns a handle on the (seed, n) cluster permutation. The
+// call is free; this node's shard is assembled lazily on first local
+// access (or eagerly via Materialize), and remote spans are fetched per
+// request.
+func (nd *Node) Permuter(n int64, seed uint64) *Permuter {
+	return &Permuter{nd: nd, n: n, seed: seed}
+}
+
+// Len returns the domain size n.
+func (p *Permuter) Len() int64 { return p.n }
+
+// Chunk fills dst with π(start) .. π(start+len(dst)-1), clamped to the
+// domain end, and returns how many values were written. Spans owned by
+// this node come from the local shard; spans owned by peers are fetched
+// over HTTP. The error is nil exactly when every owning node answered.
+func (p *Permuter) Chunk(dst []int64, start int64) (int, error) {
+	if start < 0 || start > p.n {
+		return 0, fmt.Errorf("cluster: Chunk start %d outside [0, %d]", start, p.n)
+	}
+	m := int64(len(dst))
+	if rest := p.n - start; rest < m {
+		m = rest
+	}
+	nd := p.nd
+	for pos := start; pos < start+m; {
+		k := nd.Owner(p.n, pos)
+		_, hi := nd.ShardRange(p.n, k)
+		stop := min(hi, start+m)
+		span := dst[pos-start : stop-start]
+		if k == nd.cfg.Self {
+			sh, err := nd.shard(p.n, p.seed)
+			if err != nil {
+				return 0, err
+			}
+			copy(span, sh.Vals[pos-sh.Start:])
+		} else if err := nd.fetchChunk(k, p.n, p.seed, span, pos); err != nil {
+			return 0, err
+		}
+		pos = stop
+	}
+	return int(m), nil
+}
+
+// Materialize assembles this node's shard now (running the exchange
+// rounds with every peer) instead of on first access, and reports the
+// error. Remote shards are their owners' to build.
+func (p *Permuter) Materialize() error {
+	if p.n == 0 {
+		return nil
+	}
+	_, err := p.nd.shard(p.n, p.seed)
+	return err
+}
+
+// Materialized reports whether this node's shard of the permutation is
+// resident.
+func (p *Permuter) Materialized() bool {
+	return p.nd.shardResident(p.n, p.seed)
+}

@@ -111,6 +111,11 @@ const (
 	// (bijective.go): O(1) state per index, streamable, not exactly
 	// uniform over S_n.
 	Bijective
+	// Cluster is the blocked CGM decomposition (cgm.go): the exact
+	// fixed-margin scatter over an even block layout, the one
+	// permutation law that internal/cluster can also compute across
+	// machines byte for byte.
+	Cluster
 )
 
 // String names the backend for tables and flags.
@@ -124,6 +129,8 @@ func (b Backend) String() string {
 		return "inplace"
 	case Bijective:
 		return "bijective"
+	case Cluster:
+		return "cluster"
 	default:
 		return fmt.Sprintf("Backend(%d)", int(b))
 	}
@@ -140,6 +147,8 @@ func ParseBackend(s string) (Backend, bool) {
 		return InPlace, true
 	case "bijective", "feistel":
 		return Bijective, true
+	case "cluster", "cgm":
+		return Cluster, true
 	}
 	return 0, false
 }

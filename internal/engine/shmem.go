@@ -156,15 +156,7 @@ func routeBlock[T any](rng *xrand.Xoshiro256, src []T, row, starts []int64, flat
 	if len(src) == 0 {
 		return
 	}
-	labels := make([]int32, len(src))
-	t := 0
-	for j, c := range row {
-		for x := int64(0); x < c; x++ {
-			labels[t] = int32(j)
-			t++
-		}
-	}
-	shuffleX(rng, labels)
+	labels := ArrangeRow(rng, row)
 	fill := append([]int64(nil), starts...)
 	for i, v := range src {
 		j := labels[i]

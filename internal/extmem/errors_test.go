@@ -1,0 +1,171 @@
+// errors_test.go covers the model's failure and boundary paths: the
+// simulated disk has no OS to fail underneath it, so its error surface
+// is geometry — short (partial) blocks at the vector's ragged end,
+// writes past a block's extent, memory bounds, and degenerate domains.
+// These are the paths a refactor of the I/O layer breaks first, and
+// the ones the original suite leaned on least.
+package extmem
+
+import (
+	"testing"
+
+	"randperm/internal/xrand"
+)
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestShortReadPaths: every range helper must handle a partial final
+// block — the external-memory analog of a short read — without
+// touching bytes past the vector's end.
+func TestShortReadPaths(t *testing.T) {
+	// 10 items, block size 4: block 2 has extent 2 (the short block).
+	v := iotaVec(10, 4)
+
+	// readRange ending inside the short block.
+	buf := make([]int64, 9)
+	readRange(v, 1, 10, buf)
+	for i := range buf {
+		if buf[i] != int64(1+i) {
+			t.Fatalf("readRange across short block wrong at %d: %d", i, buf[i])
+		}
+	}
+
+	// writeRange covering the short block entirely (full-overwrite path
+	// with a clipped extent) and partially (read-modify-write path).
+	writeRange(v, 8, 10, []int64{-8, -9})
+	snap := v.Snapshot()
+	if snap[8] != -8 || snap[9] != -9 || snap[7] != 7 {
+		t.Fatalf("short-block overwrite wrong: %v", snap[6:])
+	}
+	writeRange(v, 9, 10, []int64{-99})
+	if snap = v.Snapshot(); snap[9] != -99 || snap[8] != -8 {
+		t.Fatalf("short-block RMW wrong: %v", snap[8:])
+	}
+
+	// copyRange into and out of the short block.
+	dst := NewVector(10, 4)
+	copyRange(v, dst, 5, 10)
+	snap = dst.Snapshot()
+	for i := int64(0); i < 5; i++ {
+		if snap[i] != 0 {
+			t.Fatalf("copyRange touched [0,5): %v", snap)
+		}
+	}
+	if snap[8] != -8 || snap[9] != -99 || snap[5] != 5 {
+		t.Fatalf("copyRange tail wrong: %v", snap[5:])
+	}
+}
+
+// TestWriteBlockExtentErrors: the write-past-extent and out-of-range
+// panics, including the short final block where the extent is smaller
+// than B.
+func TestWriteBlockExtentErrors(t *testing.T) {
+	v := NewVector(10, 4)
+	mustPanic(t, "write past short-block extent", func() {
+		v.WriteBlock(2, []int64{1, 2, 3}) // block 2 has extent 2
+	})
+	mustPanic(t, "negative block read", func() {
+		v.ReadBlock(-1, make([]int64, 4))
+	})
+	mustPanic(t, "negative block write", func() {
+		v.WriteBlock(-1, []int64{1})
+	})
+	mustPanic(t, "zero block size", func() { NewVector(10, 0) })
+}
+
+// TestShuffleDegenerate: empty and single-item vectors are no-ops for
+// both shufflers, with no I/O model panic.
+func TestShuffleDegenerate(t *testing.T) {
+	for _, n := range []int64{0, 1} {
+		v := iotaVec(n, 4)
+		if err := Shuffle(xrand.NewXoshiro256(5), v, ShuffleOptions{Memory: 64}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !isPerm(v.Snapshot()) {
+			t.Fatalf("n=%d: corrupted", n)
+		}
+		NaiveShuffle(xrand.NewXoshiro256(5), v)
+		if !isPerm(v.Snapshot()) {
+			t.Fatalf("n=%d: naive corrupted", n)
+		}
+	}
+}
+
+// TestShuffleDefaultMemory: Memory <= 0 falls back to the documented
+// default instead of failing.
+func TestShuffleDefaultMemory(t *testing.T) {
+	v := iotaVec(500, 8)
+	if err := Shuffle(xrand.NewXoshiro256(6), v, ShuffleOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !isPerm(v.Snapshot()) {
+		t.Fatal("default-memory shuffle not a permutation")
+	}
+}
+
+// TestShuffleMemoryExactlyFourBlocks: the documented lower bound is
+// inclusive — exactly 4B must work, 4B-1 must not.
+func TestShuffleMemoryExactlyFourBlocks(t *testing.T) {
+	v := iotaVec(300, 8)
+	if err := Shuffle(xrand.NewXoshiro256(7), v, ShuffleOptions{Memory: 32}); err != nil {
+		t.Fatalf("memory == 4 blocks refused: %v", err)
+	}
+	if !isPerm(v.Snapshot()) {
+		t.Fatal("minimum-memory shuffle not a permutation")
+	}
+	if err := Shuffle(xrand.NewXoshiro256(7), v, ShuffleOptions{Memory: 31}); err == nil {
+		t.Fatal("memory below 4 blocks accepted")
+	}
+}
+
+// TestSnapshotIsolation: Snapshot and FromSlice are copies, not views —
+// mutating either side must not leak through, and Snapshot charges no
+// I/Os (it is a test instrument, not a disk operation).
+func TestSnapshotIsolation(t *testing.T) {
+	data := []int64{1, 2, 3, 4, 5}
+	v := FromSlice(data, 2)
+	data[0] = 99
+	if v.Snapshot()[0] != 1 {
+		t.Error("FromSlice aliased its input")
+	}
+	snap := v.Snapshot()
+	snap[1] = -1
+	if v.Snapshot()[1] != 2 {
+		t.Error("Snapshot aliased the vector")
+	}
+	if v.IOs() != 0 {
+		t.Errorf("Snapshot charged %d I/Os", v.IOs())
+	}
+}
+
+// TestNaiveShuffleFlushesEdges: the one-block write cache of the naive
+// shuffler must flush its held block both mid-run (when the left index
+// crosses a block boundary) and at exit, including on a vector that is
+// a single partial block.
+func TestNaiveShuffleFlushesEdges(t *testing.T) {
+	for _, tc := range []struct {
+		n int64
+		b int
+	}{
+		{3, 8},  // one partial block
+		{9, 4},  // partial tail block
+		{16, 4}, // aligned
+	} {
+		v := iotaVec(tc.n, tc.b)
+		NaiveShuffle(xrand.NewXoshiro256(8), v)
+		if !isPerm(v.Snapshot()) {
+			t.Errorf("n=%d b=%d: not a permutation after naive shuffle", tc.n, tc.b)
+		}
+		if v.Writes() == 0 {
+			t.Errorf("n=%d b=%d: cache never flushed", tc.n, tc.b)
+		}
+	}
+}

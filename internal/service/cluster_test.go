@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// bootServiceCluster starts `nodes` full permd handlers in cluster mode
+// on loopback servers, exactly as N processes started with
+// -peers/-node would run.
+func bootServiceCluster(t *testing.T, nodes int, base Config) []*httptest.Server {
+	t.Helper()
+	servers := make([]*httptest.Server, nodes)
+	peers := make([]string, nodes)
+	muxes := make([]*http.ServeMux, nodes)
+	for k := range servers {
+		muxes[k] = http.NewServeMux()
+		servers[k] = httptest.NewServer(muxes[k])
+		peers[k] = servers[k].URL
+		t.Cleanup(servers[k].Close)
+	}
+	for k := range servers {
+		cfg := base
+		cfg.ClusterPeers = peers
+		cfg.ClusterNode = k
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		muxes[k].Handle("/", s)
+	}
+	return servers
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestClusterServiceByteIdentical is the service-level acceptance
+// contract: a 2-node permd cluster answers a backend=cluster chunk —
+// requested from either node, covering the whole domain so both shards
+// and the proxy path are exercised — with exactly the bytes a
+// single-node, non-cluster server produces for the same (seed, n).
+func TestClusterServiceByteIdentical(t *testing.T) {
+	const n, seed = 600, 42
+	servers := bootServiceCluster(t, 2, Config{Procs: 8})
+	single := newTestServer(t, Config{Procs: 8})
+	path := fmt.Sprintf("/v1/perm/%d/chunk?n=%d&len=%d&backend=cluster", seed, n, n)
+	_, want := get(t, single, path)
+	if len(want) == 0 || strings.Contains(want, "permd:") {
+		t.Fatalf("single-node reference failed: %q", want)
+	}
+	for k, srv := range servers {
+		code, body := httpGet(t, srv.URL+path)
+		if code != http.StatusOK {
+			t.Fatalf("node %d: status %d: %s", k, code, body)
+		}
+		if body != want {
+			t.Errorf("node %d: cluster-served chunk differs from single-node bytes", k)
+		}
+	}
+	// A sub-range that lives entirely on the far shard still answers
+	// from node 0 (the proxy path alone).
+	farPath := fmt.Sprintf("/v1/perm/%d/chunk?n=%d&start=%d&len=50&backend=cluster", seed, n, n-50)
+	code, body := httpGet(t, servers[0].URL+farPath)
+	if code != http.StatusOK {
+		t.Fatalf("far-shard chunk: status %d: %s", code, body)
+	}
+	if !strings.HasSuffix(want, body) {
+		t.Error("far-shard chunk is not the tail of the full response")
+	}
+	// At on the far shard answers through the same routed path.
+	atPath := fmt.Sprintf("/v1/perm/%d/at?n=%d&i=%d&backend=cluster", seed, n, n-1)
+	code, body = httpGet(t, servers[0].URL+atPath)
+	if code != http.StatusOK {
+		t.Fatalf("at: status %d: %s", code, body)
+	}
+	lines := strings.Split(strings.TrimSpace(want), "\n")
+	if strings.TrimSpace(body) != lines[n-1] {
+		t.Errorf("at = %q, want %q", strings.TrimSpace(body), lines[n-1])
+	}
+}
+
+// TestClusterServiceSurfaces: cluster mode shows up in /healthz, the
+// peer endpoints answer, and /metrics carries the permd_cluster_*
+// families.
+func TestClusterServiceSurfaces(t *testing.T) {
+	servers := bootServiceCluster(t, 2, Config{Procs: 4})
+	code, body := httpGet(t, servers[1].URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	var h struct {
+		Cluster struct {
+			Node, Nodes, Procs int
+		} `json:"cluster"`
+		Backends []string `json:"backends"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Cluster.Node != 1 || h.Cluster.Nodes != 2 || h.Cluster.Procs != 4 {
+		t.Errorf("healthz cluster block wrong: %+v", h.Cluster)
+	}
+	found := false
+	for _, b := range h.Backends {
+		found = found || b == "cluster"
+	}
+	if !found {
+		t.Errorf("cluster missing from healthz backends: %v", h.Backends)
+	}
+	if code, _ := httpGet(t, servers[0].URL+"/v1/cluster/status"); code != http.StatusOK {
+		t.Errorf("cluster status: %d", code)
+	}
+	// Drive one sharded request, then look for the cluster counters.
+	if code, _ := httpGet(t, servers[0].URL+"/v1/perm/1/chunk?n=200&len=200&backend=cluster"); code != http.StatusOK {
+		t.Fatalf("chunk: %d", code)
+	}
+	_, metrics := httpGet(t, servers[0].URL+"/metrics")
+	for _, want := range []string{
+		"permd_cluster_shard_builds_total 1",
+		"permd_cluster_proxied_requests_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// A misconfigured width cannot cross the exchange: a third server
+	// with different Procs pointing at these peers fails its build.
+	peers := []string{servers[0].URL, servers[1].URL}
+	bad, err := New(Config{Procs: 16, ClusterPeers: peers, ClusterNode: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	bad.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/perm/1/chunk?n=200&len=10&backend=cluster", nil))
+	if rec.Code != http.StatusInternalServerError || !strings.Contains(rec.Body.String(), "mismatch") {
+		t.Errorf("mismatched cluster width served: %d %q", rec.Code, rec.Body.String())
+	}
+}

@@ -23,6 +23,14 @@
 //	GET  /healthz                                        JSON liveness + config echo
 //	GET  /metrics                                        Prometheus text format
 //
+// In cluster mode (Config.ClusterPeers) the daemon additionally mounts
+// the peer-facing /v1/cluster/* endpoints of internal/cluster and
+// serves backend=cluster requests from the sharded machinery: this
+// node's shard is read locally, every other index range is fetched
+// from its owning peer — the response bytes are identical to a
+// single-node backend=cluster run for the same (seed, n), which is how
+// the deployment is verified (see OPERATIONS.md).
+//
 // Exactness gating: /v1/shuffle and /v1/sample promise the exactly
 // uniform law over all orderings, so /v1/shuffle refuses backends with
 // Backend.ExactUniform() == false (HTTP 400) and /v1/sample always runs
@@ -43,6 +51,7 @@ import (
 	"time"
 
 	"randperm"
+	"randperm/internal/cluster"
 )
 
 // Config sizes the daemon. The zero value is usable: every field has a
@@ -72,13 +81,25 @@ type Config struct {
 	// MaxBody caps the /v1/shuffle request body in bytes (default 32 MiB).
 	MaxBody int64
 	// DefaultBackend serves /v1/perm/* requests that omit ?backend=.
-	// It is flag-shaped — "sim", "shmem", "inplace" or "bijective", as
-	// accepted by randperm.ParseBackend — so the empty string can mean
-	// "bijective", the streaming-native backend and the only one that
-	// serves n beyond MaxN. /v1/shuffle defaults to BackendSharedMem
-	// independently, because its exactness gate would refuse a
-	// bijective default.
+	// It is flag-shaped — "sim", "shmem", "inplace", "bijective" or
+	// "cluster", as accepted by randperm.ParseBackend — so the empty
+	// string can mean "bijective", the streaming-native backend and the
+	// only one that serves n beyond MaxN. /v1/shuffle defaults to
+	// BackendSharedMem independently, because its exactness gate would
+	// refuse a bijective default.
 	DefaultBackend string
+	// ClusterPeers turns on cluster mode when non-empty: the base URLs
+	// of every permd node in the cluster, in the cluster-wide node
+	// order, this node included. All nodes must agree on the list, on
+	// Procs (the cluster-wide decomposition width) and on every limit
+	// that shapes responses; see OPERATIONS.md. In cluster mode the
+	// server mounts the peer-facing /v1/cluster/* endpoints and serves
+	// backend=cluster requests from the sharded machinery: values this
+	// node owns come from its local shard, the rest are fetched from
+	// the owning peers.
+	ClusterPeers []string
+	// ClusterNode is this node's index in ClusterPeers.
+	ClusterNode int
 }
 
 func (c Config) withDefaults() Config {
@@ -110,7 +131,8 @@ type Server struct {
 	defBackend randperm.Backend
 	met        metrics
 	cache      *handleCache
-	bufs       sync.Pool // *[]int64 of length cfg.MaxChunk
+	bufs       sync.Pool     // *[]int64 of length cfg.MaxChunk
+	node       *cluster.Node // non-nil iff cluster mode is on
 	mux        *http.ServeMux
 }
 
@@ -123,6 +145,19 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, defBackend: def, mux: http.NewServeMux()}
+	if len(cfg.ClusterPeers) > 0 {
+		s.node, err = cluster.New(cluster.Config{
+			Self:      cfg.ClusterNode,
+			Peers:     cfg.ClusterPeers,
+			Procs:     cfg.Procs,
+			MaxShards: cfg.MaxHandles,
+			MaxN:      cfg.MaxN,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mux.Handle("/v1/cluster/", s.node.Handler())
+	}
 	s.cache = newHandleCache(cfg.MaxHandles, &s.met, s.buildHandle)
 	s.bufs.New = func() any {
 		b := make([]int64, cfg.MaxChunk)
@@ -141,13 +176,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // buildHandle is the cache's single-flight constructor: the one place a
 // Permuter is made, so the materialization-counting hook is registered
-// before any request can share the handle.
+// before any request can share the handle. In cluster mode a
+// backend=cluster handle is source-backed: it reads this node's shard
+// locally and routes the rest of the domain to the owning peers,
+// instead of materializing all n words here.
 func (s *Server) buildHandle(key handleKey) (*randperm.Permuter, error) {
-	pm, err := randperm.NewPermuter(key.n, randperm.Options{
+	opt := randperm.Options{
 		Procs:   s.cfg.Procs,
 		Seed:    key.seed,
 		Backend: key.backend,
-	})
+	}
+	if key.backend == randperm.BackendCluster && s.node != nil {
+		return randperm.NewPermuterSource(s.node.Permuter(key.n, key.seed), opt)
+	}
+	pm, err := randperm.NewPermuter(key.n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +304,14 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		}
 		m, err := pm.Chunk(page, start+served)
 		if err != nil {
-			// Headers are gone; all we can do is truncate the stream.
+			if served == 0 {
+				// Nothing flushed yet: a real error response is still
+				// possible — a cluster peer failure surfaces here.
+				s.httpError(w, http.StatusInternalServerError, "reading chunk: %v", err)
+				return
+			}
+			// Mid-stream the headers are gone; all we can do is
+			// truncate the stream.
 			s.met.errors.Add(1)
 			return
 		}
@@ -301,8 +350,16 @@ func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "i=%d outside [0, %d)", i, n)
 		return
 	}
+	// Read through Chunk rather than At: same bytes, but an
+	// error-returning path, so a cluster peer failure becomes a 500
+	// instead of a panic.
+	var one [1]int64
+	if _, err := pm.Chunk(one[:], i); err != nil {
+		s.httpError(w, http.StatusInternalServerError, "reading position: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "%d\n", pm.At(i))
+	fmt.Fprintf(w, "%d\n", one[0])
 	s.met.items.Add(1)
 }
 
@@ -455,7 +512,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[epHealthz].Add(1)
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":          "ok",
 		"procs":           s.cfg.Procs,
 		"handles":         s.cache.len(),
@@ -463,12 +520,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"max_n":           s.cfg.MaxN,
 		"max_chunk":       s.cfg.MaxChunk,
 		"default_backend": s.defBackend.String(),
-		"backends":        []string{"sim", "shmem", "inplace", "bijective"},
-	})
+		"backends":        []string{"sim", "shmem", "inplace", "bijective", "cluster"},
+	}
+	if s.node != nil {
+		body["cluster"] = map[string]any{
+			"node":  s.node.Self(),
+			"nodes": s.node.Nodes(),
+			"procs": s.node.Procs(),
+		}
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[epMetrics].Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.write(w)
+	if s.node != nil {
+		s.node.WriteMetrics(w)
+	}
 }

@@ -63,7 +63,7 @@ func TestChunkByteIdentical(t *testing.T) {
 		start        = int64(1000)
 		length int64 = 128
 	)
-	for _, backend := range []string{"sim", "shmem", "inplace", "bijective"} {
+	for _, backend := range []string{"sim", "shmem", "inplace", "bijective", "cluster"} {
 		b, err := randperm.ParseBackend(backend)
 		if err != nil {
 			t.Fatal(err)
@@ -178,7 +178,7 @@ func TestChunkErrors(t *testing.T) {
 // plus the O(1)-on-huge-domains property for bijective.
 func TestAt(t *testing.T) {
 	s := newTestServer(t, Config{})
-	for _, backend := range []string{"sim", "shmem", "inplace", "bijective"} {
+	for _, backend := range []string{"sim", "shmem", "inplace", "bijective", "cluster"} {
 		b, _ := randperm.ParseBackend(backend)
 		pm, err := randperm.NewPermuter(1000, randperm.Options{Procs: 8, Seed: 5, Backend: b})
 		if err != nil {

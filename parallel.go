@@ -49,9 +49,23 @@ const (
 	// unreachable. Gate exactness-sensitive callers on ExactUniform.
 	// The Report carries only Procs.
 	BackendBijective
+	// BackendCluster is the blocked coarse-grained-multicomputer
+	// decomposition: the slice is split into Procs even contiguous
+	// blocks, the exact p x p communication matrix is sampled once, a
+	// label arrangement routes every source block and every target
+	// block is arranged in place — Algorithm 1 with the geometry that
+	// survives a network boundary. In process it is a slower cousin of
+	// BackendSharedMem (the fixed-margin matrix replaces the free
+	// multinomial margins); its reason to exist is that N permd peers
+	// can compute the same permutation cooperatively, each owning a
+	// contiguous shard of the output, with byte-identical results for
+	// the same (Seed, n, Procs) — see internal/cluster and
+	// OPERATIONS.md. Exactly uniform; the Report carries only Procs.
+	BackendCluster
 )
 
-// String names the backend ("sim", "shmem", "inplace" or "bijective").
+// String names the backend ("sim", "shmem", "inplace", "bijective" or
+// "cluster").
 func (b Backend) String() string { return b.internal().String() }
 
 // ExactUniform reports whether the backend draws from the exactly
@@ -70,17 +84,19 @@ func (b Backend) internal() engine.Backend {
 		return engine.InPlace
 	case BackendBijective:
 		return engine.Bijective
+	case BackendCluster:
+		return engine.Cluster
 	default:
 		return engine.Sim
 	}
 }
 
 // ParseBackend converts a flag value ("sim", "shmem", "inplace",
-// "bijective") into a Backend.
+// "bijective", "cluster") into a Backend.
 func ParseBackend(s string) (Backend, error) {
 	eb, ok := engine.ParseBackend(s)
 	if !ok {
-		return 0, fmt.Errorf("randperm: unknown backend %q (want sim, shmem, inplace or bijective)", s)
+		return 0, fmt.Errorf("randperm: unknown backend %q (want sim, shmem, inplace, bijective or cluster)", s)
 	}
 	switch eb {
 	case engine.SharedMem:
@@ -89,6 +105,8 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendInPlace, nil
 	case engine.Bijective:
 		return BackendBijective, nil
+	case engine.Cluster:
+		return BackendCluster, nil
 	default:
 		return BackendSim, nil
 	}
@@ -229,6 +247,15 @@ func ParallelShuffle[T any](data []T, opt Options) ([]T, Report, error) {
 			return nil, Report{}, err
 		}
 		return out, Report{Procs: opt.Procs}, nil
+	case BackendCluster:
+		out, err := engine.PermuteSliceCGM(data, opt.Procs, engine.Options{
+			Workers: opt.Parallelism,
+			Seed:    opt.Seed,
+		})
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{Procs: opt.Procs}, nil
 	}
 	out, m, err := core.PermuteSlice(data, opt.Procs, core.Config{
 		Seed:   opt.Seed,
@@ -259,6 +286,18 @@ func ParallelShuffleBlocks[T any](blocks [][]T, targetSizes []int64, opt Options
 		return out, Report{Procs: len(blocks)}, nil
 	case BackendInPlace:
 		out, err := engine.PermuteBlocksInPlace(blocks, targetSizes, engine.Options{
+			Workers: opt.Parallelism,
+			Seed:    opt.Seed,
+		})
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{Procs: len(blocks)}, nil
+	case BackendCluster:
+		// The blocked form IS the cluster decomposition: prescribed
+		// margins, exact matrix, per-block streams — identical to the
+		// shared-memory scatter.
+		out, err := engine.PermuteBlocks(blocks, targetSizes, engine.Options{
 			Workers: opt.Parallelism,
 			Seed:    opt.Seed,
 		})

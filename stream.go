@@ -21,11 +21,14 @@ import (
 // permutation is never materialized at all: a keyed Feistel bijection
 // (built once in NewPermuter) computes each position in O(1) state, so
 // Chunk fills its destination with zero allocations regardless of n,
-// and n may exceed available memory by any factor. On the three
-// materializing backends (Sim, SharedMem, InPlace) the handle builds
-// the full permutation lazily on first use — one n-word buffer, built
-// once with the selected backend's engine and reused by every
-// subsequent Chunk, Iter and At.
+// and n may exceed available memory by any factor. On the materializing
+// backends (Sim, SharedMem, InPlace, Cluster) the handle builds the
+// full permutation lazily on first use — one n-word buffer, built once
+// with the selected backend's engine and reused by every subsequent
+// Chunk, Iter and At. A handle built by NewPermuterSource instead
+// delegates every read to its ChunkSource — the permd cluster serves
+// its sharded permutations this way, each node holding only its own
+// n/N-word shard and fetching the rest from the owning peers.
 //
 // Determinism: the permutation a Permuter exposes is a pure function of
 // (Backend, Seed, Procs, n) — on BackendBijective, of (Seed, n) alone —
@@ -51,7 +54,25 @@ type Permuter struct {
 	opt  Options
 	bij  *engine.Bijection // non-nil iff opt.Backend == BackendBijective
 	mat  *permMat          // lazily-built state of the materializing backends
+	src  ChunkSource       // non-nil iff built by NewPermuterSource
 	hook func()            // OnMaterialize callback, fired inside each build
+}
+
+// A ChunkSource is a pluggable backing for a Permuter: anything that
+// can fill chunks of one fixed permutation of [0, Len()). It is how a
+// permutation whose storage lives somewhere else — sharded across the
+// nodes of a permd cluster, most importantly — is served through the
+// exact same streaming API, handle cache and HTTP endpoints as the
+// in-process backends. Chunk follows the Permuter.Chunk contract:
+// dst[k] = π(start+k), short count at the end of the domain, safe for
+// concurrent use. A source may also implement Materialize() error
+// and/or Materialized() bool; a sourced Permuter forwards both.
+type ChunkSource interface {
+	// Len returns the domain size n.
+	Len() int64
+	// Chunk fills dst with π(start) .. π(start+len(dst)-1), clamped to
+	// the domain end, and returns how many values were written.
+	Chunk(dst []int64, start int64) (int, error)
 }
 
 // permMat is the lazily-materialized permutation; a fresh one is
@@ -87,6 +108,25 @@ func NewPermuter(n int64, opt Options) (*Permuter, error) {
 	return p, nil
 }
 
+// NewPermuterSource wraps src — a remote or otherwise externally-backed
+// permutation — in a Permuter, so callers (and the permd service, whose
+// cluster mode is the motivating user) handle every backend through one
+// type. opt is advisory: Backend is reported by Backend() and Seed is
+// carried for observability, but the permutation itself is whatever src
+// serves. A sourced Permuter cannot be re-keyed: Reset panics, because
+// the handle has no way to re-seed storage it does not own — construct
+// a new source instead.
+func NewPermuterSource(src ChunkSource, opt Options) (*Permuter, error) {
+	if src == nil {
+		return nil, fmt.Errorf("randperm: NewPermuterSource with nil source")
+	}
+	n := src.Len()
+	if n < 0 {
+		return nil, fmt.Errorf("randperm: source reports negative length %d", n)
+	}
+	return &Permuter{n: n, opt: opt.withDefaults(), src: src}, nil
+}
+
 // Len returns the length n of the permuted index space.
 func (p *Permuter) Len() int64 { return p.n }
 
@@ -110,6 +150,9 @@ func (p *Permuter) Chunk(dst []int64, start int64) (int, error) {
 	if rest := p.n - start; rest < m {
 		m = rest
 	}
+	if p.src != nil {
+		return p.src.Chunk(dst[:m], start)
+	}
 	if p.bij != nil {
 		for k := int64(0); k < m; k++ {
 			dst[k] = p.bij.Index(start + k)
@@ -130,6 +173,13 @@ func (p *Permuter) Chunk(dst []int64, start int64) (int, error) {
 func (p *Permuter) At(i int64) int64 {
 	if i < 0 || i >= p.n {
 		panic(fmt.Sprintf("randperm: Permuter.At(%d) outside [0, %d)", i, p.n))
+	}
+	if p.src != nil {
+		var one [1]int64
+		if _, err := p.src.Chunk(one[:], i); err != nil {
+			panic(err)
+		}
+		return one[0]
 	}
 	if p.bij != nil {
 		return p.bij.Index(i)
@@ -153,6 +203,22 @@ func (p *Permuter) At(i int64) int64 {
 // instead).
 func (p *Permuter) Iter() iter.Seq[int64] {
 	return func(yield func(int64) bool) {
+		if p.src != nil {
+			buf := make([]int64, min(p.n, 1<<16))
+			for pos := int64(0); pos < p.n; {
+				m, err := p.src.Chunk(buf, pos)
+				if err != nil {
+					panic(err)
+				}
+				for _, v := range buf[:m] {
+					if !yield(v) {
+						return
+					}
+				}
+				pos += int64(m)
+			}
+			return
+		}
 		if p.bij != nil {
 			for i := int64(0); i < p.n; i++ {
 				if !yield(p.bij.Index(i)) {
@@ -177,8 +243,12 @@ func (p *Permuter) Iter() iter.Seq[int64] {
 // with NewPermuter(Len(), opt-with-new-Seed): the bijection is re-keyed
 // in place and any materialized permutation is dropped and lazily
 // rebuilt on next access. Reset must not be called concurrently with
-// any other method on the handle.
+// any other method on the handle. A sourced handle (NewPermuterSource)
+// panics: it does not own the storage a re-key would have to rebuild.
 func (p *Permuter) Reset(seed uint64) {
+	if p.src != nil {
+		panic("randperm: Reset on a source-backed Permuter; construct a new source instead")
+	}
 	p.opt.Seed = seed
 	if p.opt.Backend == BackendBijective {
 		p.bij = engine.NewBijection(p.n, seed)
@@ -195,6 +265,12 @@ func (p *Permuter) Reset(seed uint64) {
 // can use it to tell which cached handles are paying n words of memory
 // and which are still cheap.
 func (p *Permuter) Materialized() bool {
+	if p.src != nil {
+		if m, ok := p.src.(interface{ Materialized() bool }); ok {
+			return m.Materialized()
+		}
+		return false
+	}
 	if p.mat == nil {
 		return false
 	}
@@ -209,6 +285,12 @@ func (p *Permuter) Materialized() bool {
 // touches the handle. Like the accessors, it is safe for concurrent use
 // and racing callers share one build.
 func (p *Permuter) Materialize() error {
+	if p.src != nil {
+		if m, ok := p.src.(interface{ Materialize() error }); ok {
+			return m.Materialize()
+		}
+		return nil
+	}
 	if p.bij != nil {
 		return nil
 	}

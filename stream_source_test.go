@@ -1,0 +1,121 @@
+// stream_source_test.go covers the sourced Permuter: the ChunkSource
+// seam that lets an externally-stored permutation — a cluster shard, in
+// production — ride the same streaming API as the in-process backends.
+package randperm_test
+
+import (
+	"errors"
+	"testing"
+
+	"randperm"
+)
+
+// fakeSource serves a fixed permutation slice through the ChunkSource
+// contract and records the traffic, with optional error injection and
+// the optional Materialize/Materialized methods.
+type fakeSource struct {
+	perm         []int64
+	chunks       int
+	failWith     error
+	materialized bool
+}
+
+func (f *fakeSource) Len() int64 { return int64(len(f.perm)) }
+
+func (f *fakeSource) Chunk(dst []int64, start int64) (int, error) {
+	f.chunks++
+	if f.failWith != nil {
+		return 0, f.failWith
+	}
+	m := int64(len(dst))
+	if rest := f.Len() - start; rest < m {
+		m = rest
+	}
+	copy(dst[:m], f.perm[start:start+m])
+	return int(m), nil
+}
+
+func (f *fakeSource) Materialize() error { f.materialized = true; return f.failWith }
+func (f *fakeSource) Materialized() bool { return f.materialized }
+
+func TestPermuterSourceDelegates(t *testing.T) {
+	src := &fakeSource{perm: []int64{3, 1, 4, 0, 2}}
+	pm, err := randperm.NewPermuterSource(src, randperm.Options{Backend: randperm.BackendCluster, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Len() != 5 || pm.Backend() != randperm.BackendCluster {
+		t.Fatalf("identity wrong: Len=%d Backend=%v", pm.Len(), pm.Backend())
+	}
+	buf := make([]int64, 3)
+	if m, err := pm.Chunk(buf, 3); err != nil || m != 2 {
+		t.Fatalf("ragged tail = %d, %v", m, err)
+	}
+	if buf[0] != 0 || buf[1] != 2 {
+		t.Fatalf("tail values %v", buf[:2])
+	}
+	if _, err := pm.Chunk(buf, -1); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := pm.Chunk(buf, 6); err == nil {
+		t.Error("start past the end accepted")
+	}
+	if got := pm.At(1); got != 1 {
+		t.Errorf("At(1) = %d", got)
+	}
+	var got []int64
+	for v := range pm.Iter() {
+		got = append(got, v)
+	}
+	if len(got) != 5 || got[0] != 3 || got[4] != 2 {
+		t.Errorf("Iter = %v", got)
+	}
+	// Early break.
+	count := 0
+	for range pm.Iter() {
+		count++
+		break
+	}
+	if count != 1 {
+		t.Errorf("early break yielded %d", count)
+	}
+}
+
+func TestPermuterSourceHooks(t *testing.T) {
+	src := &fakeSource{perm: []int64{0, 1}}
+	pm, err := randperm.NewPermuterSource(src, randperm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Materialized() {
+		t.Error("Materialized before Materialize")
+	}
+	if err := pm.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if !src.materialized || !pm.Materialized() {
+		t.Error("Materialize not forwarded to the source")
+	}
+	// Reset is meaningless on storage the handle does not own.
+	defer func() {
+		if recover() == nil {
+			t.Error("Reset on a sourced handle did not panic")
+		}
+	}()
+	pm.Reset(2)
+}
+
+func TestPermuterSourceErrors(t *testing.T) {
+	if _, err := randperm.NewPermuterSource(nil, randperm.Options{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	boom := errors.New("peer gone")
+	src := &fakeSource{perm: []int64{0, 1, 2}, failWith: boom}
+	pm, err := randperm.NewPermuterSource(src, randperm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.Chunk(make([]int64, 2), 0); !errors.Is(err, boom) {
+		t.Errorf("Chunk error = %v, want %v", err, boom)
+	}
+}

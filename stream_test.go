@@ -18,6 +18,7 @@ var allBackends = []randperm.Backend{
 	randperm.BackendSharedMem,
 	randperm.BackendInPlace,
 	randperm.BackendBijective,
+	randperm.BackendCluster,
 }
 
 // TestPermuterMatchesShuffle: for every backend, the streamed
