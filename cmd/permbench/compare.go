@@ -7,7 +7,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"randperm"
@@ -220,11 +222,30 @@ func runServe(reqs int) (*servingResult, error) {
 	}, nil
 }
 
+// profileBackend wraps one backend's timing loop in a pprof CPU profile
+// written to dir/cpu-<backend>.pprof, so a perf PR can start from data
+// (`go tool pprof cpu-shmem.pprof`) instead of guesses. Profiling adds a
+// sampling interrupt (~100 Hz), so profiled numbers are for attribution,
+// not for BENCH_backends.json.
+func profileBackend(dir, backend string, run func() error) error {
+	f, err := os.Create(filepath.Join(dir, "cpu-"+backend+".pprof"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return err
+	}
+	defer pprof.StopCPUProfile()
+	return run()
+}
+
 // runCompare times the execution backends side by side on the same
 // workload and prints a table (or JSON with -json). The per-backend
 // figure is the best of `trials` runs, the conventional way to strip
-// scheduler noise from a throughput measurement.
-func runCompare(n int64, p, workers, trials int, which string, seed uint64, serve, clusterB, asJSON bool) error {
+// scheduler noise from a throughput measurement. With a non-empty
+// profDir each backend's loop additionally writes a CPU profile there.
+func runCompare(n int64, p, workers, trials int, which string, seed uint64, serve, clusterB, asJSON bool, profDir string) error {
 	if n <= 0 {
 		n = 1 << 20
 	}
@@ -256,23 +277,40 @@ func runCompare(n int64, p, workers, trials int, which string, seed uint64, serv
 		N: n, Procs: p, Workers: workers, Trials: trials,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
+	if profDir != "" {
+		if err := os.MkdirAll(profDir, 0o755); err != nil {
+			return err
+		}
+	}
 	byName := map[string]backendResult{}
 	for _, b := range backends {
 		best := time.Duration(1<<63 - 1)
-		for t := 0; t < trials; t++ {
-			start := time.Now()
-			_, _, err := randperm.ParallelShuffle(data, randperm.Options{
-				Procs:       p,
-				Seed:        seed + uint64(t),
-				Backend:     b,
-				Parallelism: workers,
-			})
-			if err != nil {
-				return fmt.Errorf("%s: %w", b, err)
+		timeTrials := func() error {
+			for t := 0; t < trials; t++ {
+				start := time.Now()
+				_, _, err := randperm.ParallelShuffle(data, randperm.Options{
+					Procs:       p,
+					Seed:        seed + uint64(t),
+					Backend:     b,
+					Parallelism: workers,
+				})
+				if err != nil {
+					return fmt.Errorf("%s: %w", b, err)
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
 			}
-			if d := time.Since(start); d < best {
-				best = d
-			}
+			return nil
+		}
+		var err error
+		if profDir != "" {
+			err = profileBackend(profDir, b.String(), timeTrials)
+		} else {
+			err = timeTrials()
+		}
+		if err != nil {
+			return err
 		}
 		r := backendResult{
 			Backend:   b.String(),

@@ -20,6 +20,7 @@
 //	permbench -compare -json > BENCH_backends.json  # ns/item per backend
 //	permbench -compare -backend inplace -workers 4  # one backend only
 //	permbench -compare -cluster                 # + loopback 2/4-node clusters
+//	permbench -compare -profile /tmp/prof       # + pprof CPU profile per backend
 package main
 
 import (
@@ -42,10 +43,11 @@ func main() {
 		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list   = flag.Bool("list", false, "list experiments and exit")
 		ghz    = flag.Float64("ghz", 0, "CPU clock in GHz for cycle estimates (0 = default 3.0)")
-		prof   = flag.Bool("profile", false, "print the BSP superstep profile of one Algorithm 1 run and exit")
-		profP  = flag.Int("profile-p", 8, "machine size for -profile")
+		prof   = flag.Bool("bsp-profile", false, "print the BSP superstep profile of one Algorithm 1 run and exit")
+		profP  = flag.Int("profile-p", 8, "machine size for -bsp-profile")
 
 		cmp      = flag.Bool("compare", false, "time the execution backends side by side and exit")
+		profDir  = flag.String("profile", "", "with -compare, write a pprof CPU profile per backend into this directory (cpu-<backend>.pprof)")
 		cmpP     = flag.Int("p", 8, "decomposition width for -compare")
 		workers  = flag.Int("workers", 0, "worker-pool cap for -compare (0 = GOMAXPROCS)")
 		backends = flag.String("backend", "all", "backends for -compare: sim, shmem, inplace, bijective, cluster or all")
@@ -56,7 +58,7 @@ func main() {
 	flag.Parse()
 
 	if *cmp {
-		if err := runCompare(*n, *cmpP, *workers, *trials, *backends, *seed+1, *serve, *clusterB, *jsonOut); err != nil {
+		if err := runCompare(*n, *cmpP, *workers, *trials, *backends, *seed+1, *serve, *clusterB, *jsonOut, *profDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkBijectionChunk measures the batch evaluator alone (no gather,
+// no pool): ns/op divided by the chunk length is the per-index Feistel
+// cost. The two sizes pin both walk regimes: 1<<20 is superdomain ==
+// domain (no cycle-walk), 1e6 walks ~4.6% of lanes.
+func BenchmarkBijectionChunk(b *testing.B) {
+	for _, n := range []int64{1 << 20, 1_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			bij := NewBijection(n, 42)
+			dst := make([]int64, 1<<14)
+			b.SetBytes(int64(len(dst)) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bij.Chunk(dst, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkBijectionChunkRounds sweeps the Feistel depth at a fixed
+// domain: the per-index cost is linear in rounds, and this sweep is the
+// source of the reduced-round budget table in BENCHMARKS.md.
+func BenchmarkBijectionChunkRounds(b *testing.B) {
+	for _, rounds := range []int{4, 6, 8, 12} {
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			bij := NewBijectionRounds(1_000_000, 42, rounds)
+			dst := make([]int64, 1<<14)
+			b.SetBytes(int64(len(dst)) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bij.Chunk(dst, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkBijectionIndex is the serial evaluator, for the speedup ratio.
+func BenchmarkBijectionIndex(b *testing.B) {
+	bij := NewBijection(1_000_000, 42)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += bij.Index(int64(i) % 1_000_000)
+	}
+	_ = sink
+}

@@ -139,6 +139,113 @@ func (b *Bijection) Inverse(y int64) int64 {
 	}
 }
 
+// bijLanes is the interleave width of the batched evaluator: enough
+// independent Feistel chains in flight to hide the round function's
+// multiply latency behind throughput (the serial evaluator is pure
+// latency: ~15 cycles of dependent ALU work per round), few enough that
+// the lane state stays in registers and L1.
+const bijLanes = 16
+
+// Chunk fills dst[k] = Index(start+k) for k in [0, len(dst)): the batch
+// evaluator behind Permuter.Chunk and the materializing helpers. The
+// indices are evaluated bijLanes at a time with the rounds interleaved
+// across lanes, so the independent per-index chains pipeline instead of
+// serializing on each round's multiply latency; out-of-domain images
+// are re-encrypted as a shrinking batch until every lane has walked
+// back under n (cycle-walking, exactly the per-index walk Index does —
+// same function, same result, pinned by TestBijectionChunkMatchesIndex).
+// When the superdomain equals the domain (n a power of two with an even
+// bit width) the walk is skipped entirely. start must satisfy
+// 0 <= start and start+len(dst) <= n. Safe for concurrent use.
+func (b *Bijection) Chunk(dst []int64, start int64) {
+	if start < 0 || start+int64(len(dst)) > max(b.n, 1) {
+		panic(fmt.Sprintf("engine: Bijection.Chunk [%d, %d) outside [0, %d)", start, start+int64(len(dst)), b.n))
+	}
+	if b.n <= 1 {
+		for k := range dst {
+			dst[k] = start + int64(k)
+		}
+		return
+	}
+	n := uint64(b.n)
+	full := uint64(1)<<(2*b.half) == n
+	var x [bijLanes]uint64
+	var pend [bijLanes]int
+	for k := 0; k < len(dst); {
+		m := min(bijLanes, len(dst)-k)
+		lanes := x[:m]
+		for l := range lanes {
+			lanes[l] = uint64(start) + uint64(k+l)
+		}
+		b.encryptLanes(lanes)
+		if full {
+			for l, v := range lanes {
+				dst[k+l] = int64(v)
+			}
+		} else {
+			// Optimistic write, then walk the escapees as a batch: lane
+			// compaction keeps the re-encryptions interleaved too.
+			np := 0
+			for l, v := range lanes {
+				if v < n {
+					dst[k+l] = int64(v)
+				} else {
+					pend[np], x[np] = k+l, v
+					np++
+				}
+			}
+			for np > 0 {
+				b.encryptLanes(x[:np])
+				w := 0
+				for l, v := range x[:np] {
+					if v < n {
+						dst[pend[l]] = int64(v)
+					} else {
+						pend[w], x[w] = pend[l], v
+						w++
+					}
+				}
+				np = w
+			}
+		}
+		k += m
+	}
+}
+
+// encryptLanes runs the Feistel network forward over every lane of x
+// (len(x) <= bijLanes), round-major: one round's work for all lanes,
+// then the next round. Each lane computes exactly encrypt(x[l]).
+func (b *Bijection) encryptLanes(x []uint64) {
+	half, mask := b.half, b.mask
+	var lbuf, rbuf [bijLanes]uint64
+	ls, rs := lbuf[:len(x)], rbuf[:len(x)]
+	for l, v := range x {
+		ls[l], rs[l] = v>>half, v&mask
+	}
+	// Two rounds per pass: the halves swap roles in registers, halving
+	// the lane-array traffic (2 loads + 2 stores per pass instead of 4).
+	keys := b.keys
+	for len(keys) >= 2 {
+		k0, k1 := keys[0], keys[1]
+		keys = keys[2:]
+		for l := range ls {
+			lv, rv := ls[l], rs[l]
+			rv, lv = lv^(feistelRound(rv, k0)&mask), rv
+			ls[l], rs[l] = rv, lv^(feistelRound(rv, k1)&mask)
+		}
+	}
+	if len(keys) == 1 {
+		k := keys[0]
+		for l := range ls {
+			f := feistelRound(rs[l], k) & mask
+			ls[l], rs[l] = rs[l], ls[l]^f
+		}
+	}
+	for l := range x {
+		x[l] = ls[l]<<half | rs[l]
+	}
+}
+
 // encrypt runs the Feistel network forward over the superdomain.
 func (b *Bijection) encrypt(x uint64) uint64 {
 	l, r := x>>b.half, x&b.mask
@@ -172,18 +279,33 @@ func feistelRound(r, k uint64) uint64 {
 	return x
 }
 
+// bijPage is the index-page size of the materializing bijective loops:
+// each worker evaluates a page of indices with the batch evaluator, then
+// gathers the page in a second tight loop, so the Feistel pipeline never
+// stalls on a data-cache miss. 4Ki indices is 32 KiB of scratch — L1.
+const bijPage = 4096
+
+// newBijectionOpt builds the bijection opt selects: seed from opt.Seed,
+// depth from opt.Rounds (<= 0 means the default family).
+func newBijectionOpt(n int64, opt Options) *Bijection {
+	if opt.Rounds > 0 {
+		return NewBijectionRounds(n, opt.Seed, opt.Rounds)
+	}
+	return NewBijection(n, opt.Seed)
+}
+
 // PermuteSliceBijective returns the permuted copy of data defined by the
 // keyed bijection on [0, len(data)): out[i] = data[Index(i)]. `chunks`
 // (<= 0 means defaultChunks) sets the decomposition evaluated on the
 // pool; because every index is independent the result is deterministic
-// in (Seed, len(data)) alone — chunks and Options.Workers change only
-// the schedule. The input is not modified.
+// in (Seed, Rounds, len(data)) alone — chunks and Options.Workers change
+// only the schedule. The input is not modified.
 func PermuteSliceBijective[T any](data []T, chunks int, opt Options) ([]T, error) {
 	if chunks <= 0 {
 		chunks = defaultChunks
 	}
 	n := int64(len(data))
-	bij := NewBijection(n, opt.Seed)
+	bij := newBijectionOpt(n, opt)
 	out := make([]T, n)
 	sizes := evenBlocks(n, chunks)
 	off := make([]int64, chunks+1)
@@ -193,8 +315,15 @@ func PermuteSliceBijective[T any](data []T, chunks int, opt Options) ([]T, error
 	pool := NewPool(min(opt.workers(), chunks), opt.Seed)
 	defer pool.Close()
 	if err := pool.For(chunks, func(c int) {
-		for i := off[c]; i < off[c+1]; i++ {
-			out[i] = data[bij.Index(i)]
+		var idx [bijPage]int64
+		for i := off[c]; i < off[c+1]; i += bijPage {
+			m := min(int64(bijPage), off[c+1]-i)
+			page := idx[:m]
+			bij.Chunk(page, i)
+			o := out[i : i+m]
+			for k, j := range page {
+				o[k] = data[j]
+			}
 		}
 	}); err != nil {
 		return nil, err
@@ -219,7 +348,7 @@ func PermuteBlocksBijective[T any](in [][]T, outSizes []int64, opt Options) ([][
 	for b, blk := range in {
 		starts[b+1] = starts[b] + int64(len(blk))
 	}
-	bij := NewBijection(n, opt.Seed)
+	bij := newBijectionOpt(n, opt)
 	out := make([]T, n)
 	sizes := evenBlocks(n, p)
 	off := make([]int64, p+1)
@@ -229,13 +358,19 @@ func PermuteBlocksBijective[T any](in [][]T, outSizes []int64, opt Options) ([][
 	pool := NewPool(min(opt.workers(), p), opt.Seed)
 	defer pool.Close()
 	if err := pool.For(p, func(c int) {
-		for i := off[c]; i < off[c+1]; i++ {
-			j := bij.Index(i)
-			// The source blocks' offsets are sorted; binary-search the
-			// block holding global index j (p <= sqrt(n), so log p is
-			// noise against the Feistel evaluation).
-			b := sort.Search(p, func(b int) bool { return starts[b+1] > j })
-			out[i] = in[b][j-starts[b]]
+		var idx [bijPage]int64
+		for i := off[c]; i < off[c+1]; i += bijPage {
+			m := min(int64(bijPage), off[c+1]-i)
+			page := idx[:m]
+			bij.Chunk(page, i)
+			o := out[i : i+m]
+			for k, j := range page {
+				// The source blocks' offsets are sorted; binary-search
+				// the block holding global index j (p <= sqrt(n), so
+				// log p is noise against the Feistel evaluation).
+				b := sort.Search(p, func(b int) bool { return starts[b+1] > j })
+				o[k] = in[b][j-starts[b]]
+			}
 		}
 	}); err != nil {
 		return nil, err

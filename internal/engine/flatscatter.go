@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"math/bits"
+
 	"randperm/internal/xrand"
 )
 
@@ -100,10 +102,16 @@ func permuteFlat[T any](data []T, chunks int, opt Options, cutoff, maxK int) ([]
 	}
 
 	// Phase 3: scatter. Each (chunk, bucket) range is owned by exactly
-	// one chunk, so concurrent writes never overlap.
+	// one chunk, so concurrent writes never overlap. The per-chunk fill
+	// cursors are copied into a fixed 256-slot array so the uint8 label
+	// indexes it bounds-check-free; writes to each bucket's range stay
+	// sequential (one cache-line-friendly stream per bucket), which is
+	// what keeps the scatter prefetchable by the hardware stride
+	// prefetchers despite the random bucket choice per item.
 	out := make([]T, n)
 	if err := pool.For(chunks, func(c int) {
-		f := fill[c]
+		var f [maxBuckets]int64
+		copy(f[:], fill[c])
 		lab := labels[chunkOff[c] : chunkOff[c]+chunkSizes[c]]
 		for i, v := range data[chunkOff[c] : chunkOff[c]+chunkSizes[c]] {
 			b := lab[i]
@@ -153,7 +161,9 @@ func fillLabels(rng *xrand.Xoshiro256, lab []uint8, k int) []int64 {
 	}
 	per := 64 / bits
 	mask := uint64(k - 1)
-	counts := make([]int64, k)
+	// Fixed-size histogram so the uint8 label indexes it with no bounds
+	// check in the decode loop.
+	var counts [maxBuckets]int64
 	i := 0
 	for i+per <= len(lab) {
 		w := rng.Uint64()
@@ -174,7 +184,7 @@ func fillLabels(rng *xrand.Xoshiro256, lab []uint8, k int) []int64 {
 			counts[b]++
 		}
 	}
-	return counts
+	return append([]int64(nil), counts[:k]...)
 }
 
 // refine shuffles seg uniformly in place: Fisher-Yates when it fits the
@@ -208,14 +218,45 @@ func refine[T any](rng *xrand.Xoshiro256, seg []T, cutoff, maxK int) {
 // insideOut writes a uniformly shuffled copy of src into dst (inside-out
 // Fisher-Yates, fusing the copy with the shuffle): dst[i] takes the
 // value displaced from a uniform position j <= i, so src is untouched.
+// Like shuffleX it runs on block-prefetched raw words, consuming them in
+// exact stream order — including Intn's power-of-two mask special case,
+// so the output stays byte-identical to the per-draw reference.
 func insideOut[T any](rng *xrand.Xoshiro256, src, dst []T) {
 	if len(src) == 0 {
 		return
 	}
 	dst[0] = src[0]
-	for i := 1; i < len(src); i++ {
-		j := rng.Intn(i + 1)
-		dst[i] = dst[j]
-		dst[j] = src[i]
+	var buf [fyBatch]uint64
+	i := 1
+	for i < len(src) {
+		have := min(fyBatch, len(src)-i)
+		rng.Fill(buf[:have])
+		used := 0
+		for used < have {
+			bound := uint64(i + 1)
+			w := buf[used]
+			used++
+			var j int
+			if bound&(bound-1) == 0 {
+				j = int(w & (bound - 1))
+			} else {
+				hi, lo := bits.Mul64(w, bound)
+				if lo < bound {
+					thresh := -bound % bound
+					for lo < thresh {
+						if used == have {
+							rng.Fill(buf[:1])
+							used, have = 0, 1
+						}
+						hi, lo = bits.Mul64(buf[used], bound)
+						used++
+					}
+				}
+				j = int(hi)
+			}
+			dst[i] = dst[j]
+			dst[j] = src[i]
+			i++
+		}
 	}
 }

@@ -18,6 +18,11 @@ type Options struct {
 	// Seed drives all randomness; every block derives its own
 	// jump-separated stream from it, so results are reproducible.
 	Seed uint64
+	// Rounds overrides the Feistel depth of the bijective paths
+	// (<= 0 means the default, bijectiveRounds). Every other backend
+	// ignores it. Changing Rounds selects a different keyed family:
+	// outputs are versioned by (Seed, Rounds), see bijective.go.
+	Rounds int
 }
 
 func (o Options) workers() int {
@@ -165,21 +170,52 @@ func routeBlock[T any](rng *xrand.Xoshiro256, src []T, row, starts []int64, flat
 	}
 }
 
-// shuffleX is xrand.Shuffle on the concrete generator with the Lemire
-// bounded draw (see xrand.Uint64n) open-coded in the loop: in the
-// scatter engine's hot path the per-item draw is worth keeping free of
-// call and special-case overhead.
+// fyBatch is the word-block size of the batched Fisher-Yates loops: 4
+// KiB of raw draws, enough to amortize the Fill call and keep the
+// reduction loop free of generator work, small enough to stay in L1
+// alongside the segment being shuffled.
+const fyBatch = 512
+
+// shuffleX is xrand.Shuffle on the concrete generator, restructured
+// around batch RNG generation: a block of raw xoshiro words is
+// prefetched into a stack buffer with rng.Fill, then the Lemire bounded
+// reductions (see xrand.Uint64n) and swaps run in a tight second loop
+// with no generator state in the dependency chain. The words are
+// consumed strictly in stream order — one per placement, plus any
+// rejection re-draws taking the next buffered word, exactly as the
+// serial loop would draw them — so the output is byte-identical to the
+// one-draw-at-a-time reference for every (seed, len) (pinned by
+// TestShuffleXMatchesSerialReference).
 func shuffleX[T any](rng *xrand.Xoshiro256, x []T) {
-	for i := len(x) - 1; i > 0; i-- {
-		bound := uint64(i + 1)
-		hi, lo := bits.Mul64(rng.Uint64(), bound)
-		if lo < bound {
-			thresh := -bound % bound
-			for lo < thresh {
-				hi, lo = bits.Mul64(rng.Uint64(), bound)
+	var buf [fyBatch]uint64
+	i := len(x) - 1
+	for i > 0 {
+		// Each placement consumes at least one word, so a block of
+		// min(fyBatch, i) words never overdraws the stream.
+		have := min(fyBatch, i)
+		rng.Fill(buf[:have])
+		used := 0
+		for used < have {
+			bound := uint64(i + 1)
+			hi, lo := bits.Mul64(buf[used], bound)
+			used++
+			if lo < bound {
+				thresh := -bound % bound
+				for lo < thresh {
+					if used == have {
+						// Buffer dry mid-rejection (astronomically rare
+						// for any realistic bound): pull the next stream
+						// word, keeping the draw order intact.
+						rng.Fill(buf[:1])
+						used, have = 0, 1
+					}
+					hi, lo = bits.Mul64(buf[used], bound)
+					used++
+				}
 			}
+			x[i], x[int(hi)] = x[int(hi)], x[i]
+			i--
 		}
-		x[i], x[int(hi)] = x[int(hi)], x[i]
 	}
 }
 

@@ -333,8 +333,26 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleAt serves GET /v1/perm/{seed}/at?n=&i=&backend= — the single
-// value π(i). O(1) on the default bijective backend; a materializing
-// backend pays (and caches) its one-time build like any chunk request.
+// value π(i). The read goes through a length-1 Chunk, whose cost is
+// backend-shaped:
+//
+//   - bijective (the default): O(1) per query — the length-1 chunk is
+//     one Feistel evaluation, no state, nothing materialized;
+//   - sim/shmem/inplace: the first query pays (and the permuter caches)
+//     the one-time n-item build, after which every query is an array
+//     read. This cannot be O(1) cold: these are exactly-uniform
+//     materializing algorithms, where π(i) depends on the entire
+//     communication-matrix sample and every local shuffle — there is no
+//     closed form for a single position;
+//   - cluster: as above, but the build is the owning node's shard
+//     (~n/nodes items), constructed remotely on first touch and held in
+//     that node's shard LRU, so repeated point queries against a live
+//     permutation are one cached lookup plus a small HTTP round trip.
+//
+// Callers that need strictly O(1) point queries must ask for the
+// bijective backend; that trade (computed keyed family vs. exact
+// uniformity) is the backend choice itself, not something the service
+// layer can paper over.
 func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[epAt].Add(1)
 	pm, n, ok := s.permuterFor(w, r)

@@ -166,9 +166,21 @@ type Options struct {
 	// affect the result: those backends bind randomness to blocks,
 	// merge-tree nodes and index ranges rather than to workers, so
 	// their output is deterministic in (Seed, Procs) alone — Bijective
-	// in (Seed, n) alone. The Sim backend ignores it and always runs
-	// one goroutine per simulated processor.
+	// in (Seed, Rounds, n) alone. The Sim backend ignores it and always
+	// runs one goroutine per simulated processor.
 	Parallelism int
+	// Rounds sets the Feistel depth of BackendBijective (<= 0 means the
+	// default, 12 rounds; every other backend ignores it). This is the
+	// documented reduced-round mode: fewer rounds trade statistical
+	// quality for evaluation speed, and the budget is stated in
+	// BENCHMARKS.md (12 rounds shows no measurable marginal bias even on
+	// two-bit Feistel halves; shallower networks fail chi-square tests
+	// on small domains first). Each (Seed, Rounds) pair selects one
+	// permutation from a distinct keyed family: outputs are versioned by
+	// the pair, so changing Rounds is an explicit opt-out of the default
+	// family's byte-determinism contract, never a silent drift — see the
+	// determinism-contract note in ARCHITECTURE.md.
+	Rounds int
 }
 
 func (o Options) withDefaults() Options {
@@ -242,6 +254,7 @@ func ParallelShuffle[T any](data []T, opt Options) ([]T, Report, error) {
 		out, err := engine.PermuteSliceBijective(data, opt.Procs, engine.Options{
 			Workers: opt.Parallelism,
 			Seed:    opt.Seed,
+			Rounds:  opt.Rounds,
 		})
 		if err != nil {
 			return nil, Report{}, err
@@ -309,6 +322,7 @@ func ParallelShuffleBlocks[T any](blocks [][]T, targetSizes []int64, opt Options
 		out, err := engine.PermuteBlocksBijective(blocks, targetSizes, engine.Options{
 			Workers: opt.Parallelism,
 			Seed:    opt.Seed,
+			Rounds:  opt.Rounds,
 		})
 		if err != nil {
 			return nil, Report{}, err

@@ -1,0 +1,90 @@
+// rounds_test.go covers the public Options.Rounds knob: a reduced-round
+// bijective family must be a valid, deterministic permutation family,
+// versioned by (Seed, Rounds) — the default family must never drift when
+// Rounds is unset — and the materializing and streaming surfaces must
+// agree on which family a given Options selects.
+package randperm_test
+
+import (
+	"testing"
+
+	"randperm"
+)
+
+func TestRoundsVersionsBijectiveFamily(t *testing.T) {
+	const n = 500
+	data := iotaInt64(n)
+	base := randperm.Options{Backend: randperm.BackendBijective, Seed: 7}
+
+	def, _, err := randperm.ParallelShuffle(data, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unset and explicit-default Rounds select the same family.
+	opt := base
+	opt.Rounds = 12
+	explicit, _, err := randperm.ParallelShuffle(data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range def {
+		if def[i] != explicit[i] {
+			t.Fatalf("Rounds=12 differs from default at %d: the default family drifted", i)
+		}
+	}
+
+	// A reduced-round family is still a permutation, is deterministic,
+	// and is a different member of the keyed family.
+	opt.Rounds = 4
+	fast, _, err := randperm.ParallelShuffle(data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := randperm.ParallelShuffle(data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, n)
+	same := true
+	for i := range fast {
+		if seen[fast[i]] {
+			t.Fatalf("Rounds=4: duplicate value %d", fast[i])
+		}
+		seen[fast[i]] = true
+		if fast[i] != again[i] {
+			t.Fatalf("Rounds=4: not deterministic at %d", i)
+		}
+		if fast[i] != def[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("Rounds=4 reproduced the default permutation: family not versioned by Rounds")
+	}
+}
+
+func TestRoundsStreamingMatchesMaterializing(t *testing.T) {
+	const n = 300
+	data := iotaInt64(n)
+	opt := randperm.Options{Backend: randperm.BackendBijective, Seed: 21, Rounds: 6}
+	out, _, err := randperm.ParallelShuffle(data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := randperm.NewPermuter(n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int64, n)
+	if _, err := pm.Chunk(idx, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range idx {
+		if got := data[idx[i]]; got != out[i] {
+			t.Fatalf("Rounds=6: Permuter.Chunk disagrees with ParallelShuffle at %d: %d != %d", i, got, out[i])
+		}
+		if at := pm.At(int64(i)); at != idx[i] {
+			t.Fatalf("Rounds=6: At(%d) = %d, Chunk has %d", i, at, idx[i])
+		}
+	}
+}

@@ -31,7 +31,8 @@ import (
 // n/N-word shard and fetching the rest from the owning peers.
 //
 // Determinism: the permutation a Permuter exposes is a pure function of
-// (Backend, Seed, Procs, n) — on BackendBijective, of (Seed, n) alone —
+// (Backend, Seed, Procs, n) — on BackendBijective, of (Seed, Rounds, n),
+// where Rounds <= 0 is the default 12-round family —
 // and is independent of Parallelism, of chunk boundaries, and of how
 // many times or in what order the chunks are pulled. Pulling chunk
 // [a, b) today and chunk [b, c) tomorrow yields exactly the
@@ -101,11 +102,21 @@ func NewPermuter(n int64, opt Options) (*Permuter, error) {
 	}
 	p := &Permuter{n: n, opt: opt}
 	if opt.Backend == BackendBijective {
-		p.bij = engine.NewBijection(n, opt.Seed)
+		p.bij = newBijection(n, opt)
 	} else {
 		p.mat = &permMat{}
 	}
 	return p, nil
+}
+
+// newBijection builds the keyed bijection opt selects: the default
+// 12-round family, or the (Seed, Rounds)-versioned family when
+// Options.Rounds is set.
+func newBijection(n int64, opt Options) *engine.Bijection {
+	if opt.Rounds > 0 {
+		return engine.NewBijectionRounds(n, opt.Seed, opt.Rounds)
+	}
+	return engine.NewBijection(n, opt.Seed)
 }
 
 // NewPermuterSource wraps src — a remote or otherwise externally-backed
@@ -154,9 +165,11 @@ func (p *Permuter) Chunk(dst []int64, start int64) (int, error) {
 		return p.src.Chunk(dst[:m], start)
 	}
 	if p.bij != nil {
-		for k := int64(0); k < m; k++ {
-			dst[k] = p.bij.Index(start + k)
-		}
+		// Batch evaluation: the chunk's indices run through the Feistel
+		// network bijLanes at a time (see engine.Bijection.Chunk), which
+		// is what makes the streamed path's ns/index competitive with
+		// the materializing backends.
+		p.bij.Chunk(dst[:m], start)
 		return int(m), nil
 	}
 	perm, err := p.materialize()
@@ -251,7 +264,7 @@ func (p *Permuter) Reset(seed uint64) {
 	}
 	p.opt.Seed = seed
 	if p.opt.Backend == BackendBijective {
-		p.bij = engine.NewBijection(p.n, seed)
+		p.bij = newBijection(p.n, p.opt)
 		return
 	}
 	p.mat = &permMat{}
