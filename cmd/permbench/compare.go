@@ -342,7 +342,10 @@ func runCompare(n int64, p, workers, trials int, which string, seed uint64, serv
 		rep.Serving = sr
 	}
 	if clusterB {
-		for _, nodes := range []int{2, 4} {
+		// 2/4 track small deployments; 8/16 record how the loopback
+		// cluster scales as the exchange fan-out grows (informational —
+		// permgate ignores cluster points, matching the loopback policy).
+		for _, nodes := range []int{2, 4, 8, 16} {
 			cr, err := runCluster(nodes, n, p, trials, seed)
 			if err != nil {
 				return err

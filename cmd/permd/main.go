@@ -10,12 +10,17 @@
 //
 // A cluster of permd processes serves one sharded permutation space
 // cooperatively: every node gets the same -peers list (and the same
-// -procs) and its own -node index, and backend=cluster requests to any
-// node return the same bytes a single-node run would — see
-// OPERATIONS.md for the full runbook.
+// -procs and -replicas) and its own -node index, and backend=cluster
+// requests to any node return the same bytes a single-node run would —
+// see OPERATIONS.md for the full runbook. With -replicas R > 1 every
+// shard slot is derived independently by R consecutive nodes, so any
+// R-1 nodes can die without changing a byte served; reads hedge to a
+// second replica after -hedge-after. On boot the daemon runs the
+// deterministic join handshake against its peers in the background; a
+// geometry mismatch (different -procs, -replicas or -peers) is fatal.
 //
-//	permd -addr :8080 -node 0 -peers http://a:8080,http://b:8080
-//	permd -addr :8080 -node 1 -peers http://a:8080,http://b:8080
+//	permd -addr :8080 -node 0 -replicas 2 -peers http://a:8080,http://b:8080,http://c:8080
+//	permd -addr :8080 -node 1 -replicas 2 -peers http://a:8080,http://b:8080,http://c:8080
 //	curl 'a:8080/v1/perm/7/chunk?n=1000000&backend=cluster'
 //	curl a:8080/v1/cluster/status
 //
@@ -40,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"randperm/internal/cluster"
 	"randperm/internal/service"
 )
 
@@ -54,6 +60,9 @@ func main() {
 		backend    = flag.String("backend", "bijective", "default backend for /v1/perm endpoints: sim, shmem, inplace, bijective or cluster")
 		peers      = flag.String("peers", "", "comma-separated base URLs of every cluster node, in cluster order (enables cluster mode)")
 		node       = flag.Int("node", 0, "this node's index into -peers")
+		replicas   = flag.Int("replicas", 1, "cluster shard replication factor R: each shard is derived by R consecutive nodes")
+		hedgeAfter = flag.Duration("hedge-after", 50*time.Millisecond, "latency budget before a cluster read races a second replica (negative disables hedging)")
+		joinWait   = flag.Duration("join-wait", 60*time.Second, "how long the boot-time cluster join handshake polls unreachable peers")
 	)
 	flag.Parse()
 
@@ -66,14 +75,16 @@ func main() {
 		}
 	}
 	handler, err := service.New(service.Config{
-		Procs:          *procs,
-		MaxHandles:     *maxHandles,
-		MaxN:           *maxN,
-		MaxChunk:       *maxChunk,
-		MaxBody:        *maxBody,
-		DefaultBackend: *backend,
-		ClusterPeers:   peerList,
-		ClusterNode:    *node,
+		Procs:           *procs,
+		MaxHandles:      *maxHandles,
+		MaxN:            *maxN,
+		MaxChunk:        *maxChunk,
+		MaxBody:         *maxBody,
+		DefaultBackend:  *backend,
+		ClusterPeers:    peerList,
+		ClusterNode:     *node,
+		ClusterReplicas: *replicas,
+		ClusterHedge:    *hedgeAfter,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "permd:", err)
@@ -91,8 +102,24 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
 	if len(peerList) > 0 {
-		log.Printf("permd: listening on %s (procs=%d default backend=%s, cluster node %d of %d)",
-			*addr, *procs, *backend, *node, len(peerList))
+		log.Printf("permd: listening on %s (procs=%d default backend=%s, cluster node %d of %d, replicas=%d)",
+			*addr, *procs, *backend, *node, len(peerList), *replicas)
+		// Deterministic membership handshake, in the background so the
+		// node serves (and answers its own peers' joins) while the rest
+		// of the cluster is still booting. A geometry mismatch means
+		// this node would derive different bytes and must not serve.
+		go func() {
+			joinCtx, cancel := context.WithTimeout(ctx, *joinWait)
+			defer cancel()
+			switch err := handler.JoinCluster(joinCtx); {
+			case err == nil:
+				log.Printf("permd: cluster join complete: all %d peers agree on the geometry", len(peerList)-1)
+			case errors.Is(err, cluster.ErrGeometryMismatch):
+				log.Fatalf("permd: %v", err)
+			case ctx.Err() == nil:
+				log.Printf("permd: cluster join incomplete (still serving; peers rejoin on contact): %v", err)
+			}
+		}()
 	} else {
 		log.Printf("permd: listening on %s (procs=%d default backend=%s)", *addr, *procs, *backend)
 	}

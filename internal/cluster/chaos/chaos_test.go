@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// echoHandler answers every request with a fixed body so byte-level
+// faults are easy to assert.
+func echoHandler(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	})
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp, body, err
+}
+
+// TestPassthrough: an unfaulted proxy is invisible, and counts traffic
+// per endpoint.
+func TestPassthrough(t *testing.T) {
+	p := Wrap(echoHandler("ok"))
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	resp, body, err := get(t, srv.URL+"/v1/cluster/chunk")
+	if err != nil || resp.StatusCode != http.StatusOK || string(body) != "ok" {
+		t.Fatalf("passthrough broken: %v %v %q", err, resp, body)
+	}
+	get(t, srv.URL+"/v1/cluster/exchange")
+	if p.Requests("chunk") != 1 || p.Requests("exchange") != 1 || p.Requests("") != 2 {
+		t.Errorf("request counts wrong: chunk=%d exchange=%d total=%d",
+			p.Requests("chunk"), p.Requests("exchange"), p.Requests(""))
+	}
+}
+
+// TestKillAndRevive: a killed node aborts every connection — the client
+// sees a transport error, never a status — and Revive restores it.
+func TestKillAndRevive(t *testing.T) {
+	p := Wrap(echoHandler("ok"))
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	p.Kill()
+	if _, _, err := get(t, srv.URL+"/x"); err == nil {
+		t.Fatal("killed node answered")
+	}
+	p.Revive()
+	if resp, _, err := get(t, srv.URL+"/x"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("revived node did not serve: %v", err)
+	}
+}
+
+// TestRuleScoping: Path is a substring match, From matches the
+// X-Permd-From header, and non-matching traffic is untouched.
+func TestRuleScoping(t *testing.T) {
+	p := Wrap(echoHandler("ok"))
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	p.Set(Rule{Path: "exchange", From: AnyPeer, Fault: Kill})
+	if resp, _, err := get(t, srv.URL+"/v1/cluster/chunk"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk caught by exchange-scoped rule: %v", err)
+	}
+	if _, _, err := get(t, srv.URL+"/v1/cluster/exchange"); err == nil {
+		t.Fatal("exchange-scoped kill did not fire")
+	}
+
+	// From-scoped: sever the edge from peer 2 only.
+	p.Set(Rule{From: 2, Fault: Kill})
+	req, _ := http.NewRequest("GET", srv.URL+"/x", nil)
+	req.Header.Set("X-Permd-From", "1")
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer 1 caught by peer-2 partition: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	req, _ = http.NewRequest("GET", srv.URL+"/x", nil)
+	req.Header.Set("X-Permd-From", "2")
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("peer-2 partition did not sever the edge")
+	}
+}
+
+// TestRuleAfter: After skips the first N matching requests — the
+// round-boundary dial ("die at the second exchange").
+func TestRuleAfter(t *testing.T) {
+	p := Wrap(echoHandler("ok"))
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	p.Set(Rule{Path: "exchange", From: AnyPeer, After: 2, Fault: Kill})
+	for i := 0; i < 2; i++ {
+		if resp, _, err := get(t, srv.URL+"/v1/cluster/exchange"); err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d (before After) faulted: %v", i, err)
+		}
+	}
+	if _, _, err := get(t, srv.URL+"/v1/cluster/exchange"); err == nil {
+		t.Fatal("request past After survived")
+	}
+}
+
+// TestErrorFault answers 500 without reaching the inner handler.
+func TestErrorFault(t *testing.T) {
+	reached := false
+	p := Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { reached = true }))
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	p.Set(Rule{From: AnyPeer, Fault: Error})
+	resp, _, err := get(t, srv.URL+"/x")
+	if err != nil || resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("Error fault: %v %v", err, resp)
+	}
+	if reached {
+		t.Error("Error fault reached the inner handler")
+	}
+}
+
+// TestCorruptFlipsOneByte: exactly the byte at FlipAt is flipped, the
+// rest of the body is intact, and the caller's view of body length is
+// unchanged.
+func TestCorruptFlipsOneByte(t *testing.T) {
+	const body = "abcdefgh"
+	p := Wrap(echoHandler(body))
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	p.Set(Rule{From: AnyPeer, Fault: Corrupt, FlipAt: 3})
+	_, got, err := get(t, srv.URL+"/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(body) {
+		t.Fatalf("corrupt changed length: %d != %d", len(got), len(body))
+	}
+	for i := range body {
+		want := body[i]
+		if i == 3 {
+			want ^= 0xFF
+		}
+		if got[i] != want {
+			t.Errorf("byte %d: got %#x, want %#x", i, got[i], want)
+		}
+	}
+}
+
+// TestStallHonorsContext: a stalled request released by client
+// cancellation returns without serving and is counted in Aborted — the
+// hedge-loser accounting the drills assert on.
+func TestStallHonorsContext(t *testing.T) {
+	p := Wrap(echoHandler("ok"))
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	p.Set(Rule{From: AnyPeer, Fault: Stall, Stall: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/x", nil)
+	began := time.Now()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("stalled request served despite cancellation")
+	}
+	if elapsed := time.Since(began); elapsed > 10*time.Second {
+		t.Fatalf("stall ignored the context: took %v", elapsed)
+	}
+	// The handler goroutine observes the cancellation asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Aborted() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p.Aborted() != 1 {
+		t.Errorf("Aborted = %d, want 1", p.Aborted())
+	}
+}

@@ -1,35 +1,53 @@
 // Package cluster realizes the paper's coarse grained model across real
-// machine boundaries: N permd peers each own a contiguous shard of the
-// permuted index domain [0, n) and cooperate to compute the exact
+// machine boundaries: N permd peers cooperate to compute the exact
 // blocked CGM permutation of internal/engine (PermuteSliceCGM) in the
-// paper's O(1) communication rounds, over HTTP.
+// paper's O(1) communication rounds, over HTTP, with R-way shard
+// replication for fault tolerance.
 //
 // The decomposition is the engine's: p even blocks (p = Config.Procs,
-// the cluster-wide decomposition width), assigned contiguously to the N
-// nodes. A node builds its shard of the permutation in three rounds:
+// the cluster-wide decomposition width), grouped contiguously into N
+// shard slots — slot k is the block range blockSpan(p, N, k) and the
+// index range ShardRange(n, k). A node builds a slot's shard in three
+// rounds:
 //
 //	round 1  every node samples the p x p communication matrix locally
 //	         from stream 0 of the shared seed — no network; the matrix
 //	         is a pure function of (seed, n, p), so all nodes hold
 //	         identical copies by construction;
-//	round 2  the h-relation: each node draws the label arrangements of
-//	         its own source blocks (engine.ArrangeRow on the blocks'
-//	         streams) and every node fetches, from each peer, the
-//	         element payloads routed to its target blocks, tagged with
-//	         the matrix entries they realize — the receiver verifies
-//	         each received count against its own matrix row, so a seed
-//	         or width mismatch is detected, not silently mixed;
-//	round 3  each node arranges its target blocks in place from the
-//	         blocks' streams (engine.LocalShuffle on the engine's
-//	         worker pool) — again no network.
+//	round 2  the h-relation: the label arrangements of every source
+//	         block are drawn from the blocks' streams — locally for
+//	         blocks of slots this node replicates, from a duty-holding
+//	         peer for the rest — and each received payload segment is
+//	         verified against the locally sampled matrix entry it
+//	         realizes, so a seed or width mismatch is detected, not
+//	         silently mixed;
+//	round 3  each target block of the slot is arranged in place from
+//	         its own stream (engine.LocalShuffle on the engine's worker
+//	         pool) — again no network.
+//
+// Replication rides the same fact that makes the rounds cheap: a shard
+// slot's bytes are a pure function of (seed, n, p, slot) — every input
+// to the three rounds is derived from the shared seed's jump-separated
+// streams, never from which machine runs them. With Config.Replicas =
+// R, slot k is owned by the R nodes (k, k+1, … k+R-1 mod N), each of
+// which derives identical bytes independently; fault tolerance
+// therefore needs no data migration, only re-routing. Reads of a
+// remote slot prefer the primary replica, hedge to the next one after
+// Config.HedgeAfter, and fail over on error; peer health is tracked
+// first-hand and gossiped on the headers of calls the nodes were
+// already making (see health.go). A dead peer is survivable exactly
+// when R >= 2; with R = 1 the failure surfaces as an error naming the
+// peer and the round (see PeerError), never as partial or mixed bytes.
 //
 // Because rounds 1 and 3 consume exactly the streams the single-process
 // engine consumes and round 2 reproduces its routing, the assembled
 // cluster permutation is byte-identical to PermuteSliceCGM over the
-// same (seed, n, p) — the network determinism contract stated in
-// ARCHITECTURE.md and enforced by the tests. Exactness is inherited the
-// same way: the law is Algorithm 1 with the exact fixed-margin matrix,
-// uniform over all n! permutations.
+// same (seed, n, p) — regardless of N, R, which replica served which
+// span, or how many failures were absorbed along the way. This is the
+// network determinism contract stated in ARCHITECTURE.md and enforced
+// by the drill tests. Exactness is inherited the same way: the law is
+// Algorithm 1 with the exact fixed-margin matrix, uniform over all n!
+// permutations.
 package cluster
 
 import (
@@ -46,9 +64,11 @@ import (
 	"randperm/internal/engine"
 )
 
-// Config wires one node into a cluster. All nodes must agree on Procs
-// and on the order (and count) of Peers; each node differs only in
-// Self. The zero values of the sizing fields get defaults from New.
+// Config wires one node into a cluster. All nodes must agree on Procs,
+// Replicas and on the order (and count) of Peers — the /v1/cluster/join
+// handshake verifies exactly this (see Geometry); each node differs
+// only in Self. The zero values of the sizing fields get defaults from
+// New.
 type Config struct {
 	// Self is this node's index in Peers.
 	Self int
@@ -59,14 +79,22 @@ type Config struct {
 	Peers []string
 	// Procs is the cluster-wide decomposition width p: the total block
 	// count across all nodes (default 8). It must be at least
-	// len(Peers) so every node owns at least one block, and every node
+	// len(Peers) so every slot owns at least one block, and every node
 	// must use the same value — it is part of the permutation's
 	// identity, exactly as on a single machine.
 	Procs int
+	// Replicas is the shard replication factor R (default 1): shard
+	// slot k is owned by nodes (k, k+1, … k+R-1) mod len(Peers), each
+	// of which derives the slot's bytes independently from the shared
+	// streams. R must not exceed the cluster size. R = 1 is the
+	// fail-stop mode: any dead peer errors reads that need it. R >= 2
+	// survives R-1 dead peers per slot with no byte ever changing.
+	Replicas int
 	// Workers caps this node's local pool goroutines (<= 0 means
 	// GOMAXPROCS). Purely local: it cannot affect any byte served.
 	Workers int
-	// MaxShards caps the node's shard cache (default 8). Each resident
+	// MaxShards caps the node's shard cache (default 8 * Replicas, so
+	// the default working set scales with replica duty). Each resident
 	// shard for a size-n domain holds about 8n/len(Peers) bytes.
 	MaxShards int
 	// MaxN, when positive, bounds the domain size the peer-facing
@@ -76,16 +104,30 @@ type Config struct {
 	// shard build that the public API would have refused. The permd
 	// service wires its own -max-n here.
 	MaxN int64
+	// HedgeAfter is the latency budget a remote read gives the first
+	// replica before firing the same request at the next one; first
+	// answer wins and the loser is cancelled through its context. The
+	// zero value means the 50 ms default; negative disables hedging
+	// (reads still fail over on error). Tuning guidance lives in
+	// OPERATIONS.md.
+	HedgeAfter time.Duration
+	// ProbeSick is how long a peer marked down by first-hand failures
+	// is skipped by routing before it is probed again (default 2 s). A
+	// rejoining peer clears its sick mark immediately via the join
+	// handshake instead of waiting this out.
+	ProbeSick time.Duration
 	// Client performs the peer requests (default: 60 s timeout).
 	Client *http.Client
 }
 
-// Node is one member of the cluster: it computes and caches shards,
-// serves the /v1/cluster/* endpoints to its peers, and hands out
-// Permuter handles that route any index range to its owner.
+// Node is one member of the cluster: it computes and caches shards for
+// every slot it replicates, serves the /v1/cluster/* endpoints to its
+// peers, and hands out Permuter handles that route any index range to
+// a live owner.
 type Node struct {
 	cfg    Config
 	client *http.Client
+	health *health
 
 	mu     sync.Mutex
 	shards map[shardKey]*list.Element // value: *shardEntry
@@ -95,16 +137,20 @@ type Node struct {
 	exchangeReqs  atomic.Int64 // exchange requests served to peers
 	exchangeItems atomic.Int64 // values shipped in exchange responses
 	chunkReqs     atomic.Int64 // shard-local chunk requests served
-	chunkItems    atomic.Int64 // values served from the local shard
+	chunkItems    atomic.Int64 // values served from local shards
 	proxyReqs     atomic.Int64 // chunk requests this node sent to peers
 	proxyItems    atomic.Int64 // values fetched from peers
 	shardBuilds   atomic.Int64 // shards assembled (cache misses)
 	shardBuildNs  atomic.Int64 // wall time spent assembling shards
+	hedgedReqs    atomic.Int64 // secondary replica requests fired by the hedge timer
+	hedgeWins     atomic.Int64 // hedged requests that answered first
+	failovers     atomic.Int64 // replica requests fired because an earlier one failed
+	joinReqs      atomic.Int64 // join handshakes served to peers
 }
 
 // New validates cfg and returns the node. It performs no network I/O:
-// peers are only contacted when a shard build or a routed chunk needs
-// them.
+// peers are only contacted when a shard build, a routed chunk or a Join
+// needs them.
 func New(cfg Config) (*Node, error) {
 	if len(cfg.Peers) == 0 {
 		return nil, fmt.Errorf("cluster: need at least one peer URL")
@@ -118,8 +164,20 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Procs < len(cfg.Peers) {
 		return nil, fmt.Errorf("cluster: decomposition width %d smaller than cluster size %d — every node must own at least one block", cfg.Procs, len(cfg.Peers))
 	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > len(cfg.Peers) {
+		return nil, fmt.Errorf("cluster: replication factor %d exceeds cluster size %d", cfg.Replicas, len(cfg.Peers))
+	}
 	if cfg.MaxShards <= 0 {
-		cfg.MaxShards = 8
+		cfg.MaxShards = 8 * cfg.Replicas
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 50 * time.Millisecond
+	}
+	if cfg.ProbeSick <= 0 {
+		cfg.ProbeSick = 2 * time.Second
 	}
 	client := cfg.Client
 	if client == nil {
@@ -128,20 +186,22 @@ func New(cfg Config) (*Node, error) {
 	return &Node{
 		cfg:    cfg,
 		client: client,
+		health: newHealth(len(cfg.Peers), cfg.ProbeSick),
 		shards: make(map[shardKey]*list.Element),
 		lru:    list.New(),
 	}, nil
 }
 
 // Self returns this node's index; Nodes the cluster size; Procs the
-// cluster-wide decomposition width.
-func (nd *Node) Self() int  { return nd.cfg.Self }
-func (nd *Node) Nodes() int { return len(nd.cfg.Peers) }
-func (nd *Node) Procs() int { return nd.cfg.Procs }
+// cluster-wide decomposition width; Replicas the replication factor.
+func (nd *Node) Self() int     { return nd.cfg.Self }
+func (nd *Node) Nodes() int    { return len(nd.cfg.Peers) }
+func (nd *Node) Procs() int    { return nd.cfg.Procs }
+func (nd *Node) Replicas() int { return nd.cfg.Replicas }
 
-// blockSpan returns the contiguous block range [lo, hi) node k owns out
-// of p blocks distributed as evenly as possible over `nodes` nodes (the
-// first p mod nodes nodes own one extra block).
+// blockSpan returns the contiguous block range [lo, hi) slot k owns out
+// of p blocks distributed as evenly as possible over `nodes` slots (the
+// first p mod nodes slots own one extra block).
 func blockSpan(p, nodes, k int) (lo, hi int) {
 	q, r := p/nodes, p%nodes
 	lo = k*q + min(k, r)
@@ -152,7 +212,7 @@ func blockSpan(p, nodes, k int) (lo, hi int) {
 	return lo, hi
 }
 
-// ownerOfBlock inverts blockSpan: the node owning block b.
+// ownerOfBlock inverts blockSpan: the slot owning block b.
 func ownerOfBlock(p, nodes, b int) int {
 	q, r := p/nodes, p%nodes
 	if t := r * (q + 1); b < t {
@@ -173,16 +233,48 @@ func blockOfIndex(n int64, p int, idx int64) int {
 	}
 }
 
+// replicasOf returns the nodes owning shard slot k, primary first: the
+// R consecutive nodes starting at k, mod the cluster size.
+func (nd *Node) replicasOf(slot int) []int {
+	out := make([]int, nd.cfg.Replicas)
+	for j := range out {
+		out[j] = (slot + j) % len(nd.cfg.Peers)
+	}
+	return out
+}
+
+// hasDuty reports whether node k is one of slot's replicas.
+func (nd *Node) hasDuty(k, slot int) bool {
+	d := k - slot
+	if d < 0 {
+		d += len(nd.cfg.Peers)
+	}
+	return d < nd.cfg.Replicas
+}
+
+// duties returns the slots node k replicates, its own slot first.
+func (nd *Node) duties(k int) []int {
+	nodes := len(nd.cfg.Peers)
+	out := make([]int, nd.cfg.Replicas)
+	for j := range out {
+		out[j] = ((k-j)%nodes + nodes) % nodes
+	}
+	return out
+}
+
 // ShardRange returns the index range [lo, hi) of the domain [0, n) that
-// node k serves: the concatenation of its contiguous target blocks.
+// shard slot k covers: the concatenation of its contiguous target
+// blocks.
 func (nd *Node) ShardRange(n int64, k int) (lo, hi int64) {
 	off := blockOffsets(n, nd.cfg.Procs)
 	blo, bhi := blockSpan(nd.cfg.Procs, len(nd.cfg.Peers), k)
 	return off[blo], off[bhi]
 }
 
-// Owner returns the node index serving global output index idx of a
-// size-n domain.
+// Owner returns the shard slot covering global output index idx of a
+// size-n domain — which is also the index of the slot's primary
+// replica node. With Replicas > 1 the full owner set is the R nodes
+// starting there.
 func (nd *Node) Owner(n, idx int64) int {
 	return ownerOfBlock(nd.cfg.Procs, len(nd.cfg.Peers), blockOfIndex(n, nd.cfg.Procs, idx))
 }
@@ -198,13 +290,16 @@ func blockOffsets(n int64, p int) []int64 {
 }
 
 // shardKey identifies one shard this node can hold. Procs and the node
-// layout are fixed per Node, so (n, seed) suffices.
+// layout are fixed per Node, so (slot, n, seed) suffices — and because
+// a slot's bytes are independent of which replica computes them, the
+// key needs no node component.
 type shardKey struct {
+	slot int
 	n    int64
 	seed uint64
 }
 
-// Shard is this node's slice of one permutation: Vals[i] == π(Start+i)
+// Shard is one slot's slice of one permutation: Vals[i] == π(Start+i)
 // for the cluster permutation π of (seed, n, Procs).
 type Shard struct {
 	Start, End int64
@@ -221,11 +316,11 @@ type shardEntry struct {
 	built atomic.Bool // set after once.Do completes
 }
 
-// shard returns the cached shard for (n, seed), building it (once,
-// shared across racing callers) on a miss. Build failures are not
-// cached.
-func (nd *Node) shard(n int64, seed uint64) (*Shard, error) {
-	key := shardKey{n: n, seed: seed}
+// shard returns the cached shard for (slot, n, seed), building it
+// (once, shared across racing callers) on a miss. Build failures are
+// not cached.
+func (nd *Node) shard(slot int, n int64, seed uint64) (*Shard, error) {
+	key := shardKey{slot: slot, n: n, seed: seed}
 	nd.mu.Lock()
 	var e *shardEntry
 	if el, ok := nd.shards[key]; ok {
@@ -244,7 +339,7 @@ func (nd *Node) shard(n int64, seed uint64) (*Shard, error) {
 
 	e.once.Do(func() {
 		began := time.Now()
-		e.sh, e.err = nd.buildShard(n, seed)
+		e.sh, e.err = nd.buildShard(slot, n, seed)
 		if e.err == nil {
 			nd.shardBuilds.Add(1)
 			nd.shardBuildNs.Add(time.Since(began).Nanoseconds())
@@ -263,11 +358,11 @@ func (nd *Node) shard(n int64, seed uint64) (*Shard, error) {
 	return e.sh, nil
 }
 
-// shardResident reports whether the (n, seed) shard is built, without
-// building it. An entry that is still mid-build reports false.
-func (nd *Node) shardResident(n int64, seed uint64) bool {
+// shardResident reports whether the (slot, n, seed) shard is built,
+// without building it. An entry that is still mid-build reports false.
+func (nd *Node) shardResident(slot int, n int64, seed uint64) bool {
 	nd.mu.Lock()
-	el, ok := nd.shards[shardKey{n: n, seed: seed}]
+	el, ok := nd.shards[shardKey{slot: slot, n: n, seed: seed}]
 	nd.mu.Unlock()
 	if !ok {
 		return false
@@ -276,13 +371,17 @@ func (nd *Node) shardResident(n int64, seed uint64) bool {
 	return e.built.Load() && e.err == nil
 }
 
-// buildShard runs the three rounds for this node's shard of the
-// (seed, n) permutation.
-func (nd *Node) buildShard(n int64, seed uint64) (*Shard, error) {
+// buildShard runs the three rounds for slot's shard of the (seed, n)
+// permutation. The slot need not be this node's own: a replica build
+// runs the identical rounds and produces identical bytes, because
+// nothing below depends on Self except which source blocks are
+// recomputed locally versus fetched — and both paths realize the same
+// matrix entries from the same streams.
+func (nd *Node) buildShard(slot int, n int64, seed uint64) (*Shard, error) {
 	p, nodes, self := nd.cfg.Procs, len(nd.cfg.Peers), nd.cfg.Self
 	sizes := core.EvenBlocks(n, p)
 	off := blockOffsets(n, p)
-	blo, bhi := blockSpan(p, nodes, self)
+	blo, bhi := blockSpan(p, nodes, slot)
 	start, end := off[blo], off[bhi]
 	vals := make([]int64, end-start)
 
@@ -308,9 +407,14 @@ func (nd *Node) buildShard(n int64, seed uint64) (*Shard, error) {
 		copy(vals[base:base+int64(len(seg))], seg)
 	}
 
-	// Round 2, local half: this node's own source blocks route to its
-	// own target blocks by a memory copy.
-	for i := blo; i < bhi; i++ {
+	// Round 2, local half: every source block belonging to a slot this
+	// node replicates is recomputed locally from its stream — replicas
+	// are free, so no wire traffic is spent on payloads this node can
+	// derive itself.
+	for i := 0; i < p; i++ {
+		if !nd.hasDuty(self, ownerOfBlock(p, nodes, i)) {
+			continue
+		}
 		labels := engine.ArrangeRow(streams[1+i], a.Row(i))
 		fill := make([]int64, bhi-blo)
 		for t, lab := range labels {
@@ -324,22 +428,24 @@ func (nd *Node) buildShard(n int64, seed uint64) (*Shard, error) {
 		}
 	}
 
-	// Round 2, remote half: the h-relation. Fetch from every peer the
-	// payloads its source blocks route to our target blocks; each
-	// received segment is verified against our own matrix entry before
-	// placement. Peers are fetched concurrently — their target segments
+	// Round 2, remote half: the h-relation. For every source slot this
+	// node does not replicate, fetch the payloads its blocks route to
+	// the target slot from one of that slot's duty holders — primary
+	// first, failing over through the replica set; each received
+	// segment is verified against our own matrix entry before
+	// placement. Slots are fetched concurrently — their target segments
 	// are disjoint by construction.
 	var wg sync.WaitGroup
 	errs := make([]error, nodes)
-	for r := 0; r < nodes; r++ {
-		if r == self {
+	for s := 0; s < nodes; s++ {
+		if nd.hasDuty(self, s) {
 			continue
 		}
 		wg.Add(1)
-		go func(r int) {
+		go func(s int) {
 			defer wg.Done()
-			errs[r] = nd.fetchExchange(r, n, seed, a, place)
-		}(r)
+			errs[s] = nd.fetchExchangeSlot(s, slot, n, seed, a, place)
+		}(s)
 	}
 	wg.Wait()
 	for _, err := range errs {

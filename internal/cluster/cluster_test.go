@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -110,7 +111,7 @@ func TestClusterShardStrictlyLocal(t *testing.T) {
 	want := singleNodeCGM(t, n, procs, 3)
 	for k, nd := range nds {
 		lo, hi := nd.ShardRange(n, k)
-		sh, err := nd.shard(n, 3)
+		sh, err := nd.shard(k, n, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,14 +178,18 @@ func TestClusterConfigMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bad.shard(100, 1); err == nil ||
+	if _, err := bad.shard(0, 100, 1); err == nil ||
 		!strings.Contains(err.Error(), "width mismatch") {
 		t.Fatalf("mismatched width built a shard: %v", err)
 	}
 }
 
 // TestClusterPeerDown: an unreachable peer turns into an error from
-// Chunk, never a panic or a partial result.
+// Chunk, never a panic or a partial result — and the chain carries a
+// typed *PeerError naming the dead peer's index, address and the
+// algorithm round, so callers can act on the failure without parsing
+// strings. (Regression: the exchange path used to flatten the transport
+// error into fmt.Errorf text, losing the peer identity.)
 func TestClusterPeerDown(t *testing.T) {
 	nds := bootCluster(t, 2, 8)
 	// A cluster whose second peer points at a closed server.
@@ -195,8 +200,19 @@ func TestClusterPeerDown(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf := make([]int64, 10)
-	if _, err := lone.Permuter(100, 1).Chunk(buf, 0); err == nil {
+	_, err = lone.Permuter(100, 1).Chunk(buf, 0)
+	if err == nil {
 		t.Fatal("dead peer produced a shard")
+	}
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("no *PeerError in the chain: %v", err)
+	}
+	if pe.Node != 1 || pe.Addr != dead.URL {
+		t.Errorf("PeerError names node %d (%s), want node 1 (%s)", pe.Node, pe.Addr, dead.URL)
+	}
+	if pe.Round != RoundExchange || pe.Op != "exchange" {
+		t.Errorf("PeerError round/op = %d/%q, want %d/exchange", pe.Round, pe.Op, RoundExchange)
 	}
 }
 

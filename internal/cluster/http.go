@@ -2,12 +2,15 @@ package cluster
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"randperm/internal/commat"
 	"randperm/internal/core"
@@ -17,12 +20,12 @@ import (
 // The exchange wire format (one round-2 h-relation leg, server -> one
 // requesting peer) is length-prefixed little-endian binary:
 //
-//	magic  "RPX1"                                    4 bytes
+//	magic  "RPX2"                                    4 bytes
 //	seed   uint64 | n int64                          config echo —
 //	p, nodes, from, to  4 x int32                    verified by both ends
-//	then, for each source block i the server owns, ascending:
+//	then, for each source block i of slot `from`, ascending:
 //	  i      int32
-//	  for each target block j the requester owns, ascending:
+//	  for each target block j of slot `to`, ascending:
 //	    count  int64        the matrix entry a_ij this segment realizes
 //	    count x int64       the routed element payloads, in source order
 //
@@ -30,24 +33,120 @@ import (
 // carries matrix rows and payloads in one stream; the requester checks
 // every count against its own locally sampled matrix and refuses the
 // response on any mismatch — a diverging seed, width or cluster layout
-// is an error, never a silently mixed permutation.
+// is an error, never a silently mixed permutation. `from` and `to` are
+// shard slots, not node indices: with replication any duty holder of
+// `from` serves the identical bytes, because the payloads are drawn
+// from the slot's streams, not from node state. (RPX1 was the
+// pre-replication format whose from/to were node indices; the magic
+// bump makes a mixed-version cluster fail loudly on the first
+// exchange.)
 
-const exchangeMagic = "RPX1"
+const exchangeMagic = "RPX2"
+
+// Peer-call headers: every request a node sends carries its own index
+// and its current health view; every /v1/cluster/* response carries the
+// answering node's view. Both directions are absorbed, which is what
+// makes the gossip free — it rides calls the nodes were making anyway.
+const (
+	fromHeader   = "X-Permd-From"
+	healthHeader = "X-Permd-Health"
+)
+
+// Round numbers for PeerError, matching the paper's round structure.
+// Rounds 1 and 3 are local and cannot produce peer errors; calls
+// outside the build (routed chunk reads, join handshakes) report
+// RoundServe.
+const (
+	RoundServe    = 0 // outside the three rounds: shard-local chunk serving or join
+	RoundExchange = 2 // the round-2 h-relation exchange
+)
+
+// PeerError reports a failed call to a cluster peer with enough context
+// to act on without parsing strings: the peer's index and address, the
+// algorithm round in flight, and the operation. It wraps the transport
+// or protocol error underneath, so errors.As surfaces it from anywhere
+// in a Chunk/Materialize error chain.
+type PeerError struct {
+	Node  int    // the peer's index in Config.Peers
+	Addr  string // the peer's base URL
+	Round int    // RoundExchange during a shard build's h-relation, else RoundServe
+	Op    string // "exchange", "chunk" or "join"
+	Err   error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("cluster: %s with node %d (%s) in round %d: %v", e.Op, e.Node, e.Addr, e.Round, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// peerError wraps err for a failed call to peer k.
+func (nd *Node) peerError(k, round int, op string, err error) *PeerError {
+	return &PeerError{Node: k, Addr: nd.cfg.Peers[k], Round: round, Op: op, Err: err}
+}
+
+// peerGet performs one GET against peer k with the cluster headers
+// attached, records the outcome in the health tracker, and absorbs the
+// peer's gossiped view from the response. A context cancelled by the
+// caller (a hedge loser) is not held against the peer's health. Any
+// 2xx-4xx answer counts as alive — a config refusal still proves the
+// peer is up; transport errors and 5xx count as failures.
+func (nd *Node) peerGet(ctx context.Context, k int, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(fromHeader, strconv.Itoa(nd.cfg.Self))
+	if g := nd.health.gossip(); g != "" {
+		req.Header.Set(healthHeader, g)
+	}
+	resp, err := nd.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			nd.health.failure(k)
+		}
+		return nil, err
+	}
+	nd.health.absorb(resp.Header.Get(healthHeader), k, nd.cfg.Self)
+	if resp.StatusCode >= 500 {
+		nd.health.failure(k)
+	} else {
+		nd.health.success(k)
+	}
+	return resp, nil
+}
 
 // Handler returns the node's peer-facing API, rooted at /v1/cluster/:
 //
-//	GET /v1/cluster/exchange?n=&seed=&p=&nodes=&to=   round-2 payloads for peer `to`
-//	GET /v1/cluster/chunk?n=&seed=&start=&len=        shard-local values, binary LE int64
-//	GET /v1/cluster/status                            JSON node/cluster introspection
+//	GET /v1/cluster/exchange?n=&seed=&p=&nodes=&from=&to=  round-2 payloads, source slot `from` -> target slot `to`
+//	GET /v1/cluster/chunk?n=&seed=&start=&len=             replicated-shard values, binary LE int64
+//	GET /v1/cluster/join?node=&hash=                       geometry handshake (see join.go)
+//	GET /v1/cluster/status                                 JSON node/cluster introspection
 //
-// Mount it on the same server that serves the public permd API (the
-// service layer does) or on its own listener.
+// Every response carries this node's health view in X-Permd-Health, and
+// every request's view is absorbed — the gossip layer. Mount it on the
+// same server that serves the public permd API (the service layer does)
+// or on its own listener.
 func (nd *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/cluster/exchange", nd.handleExchange)
 	mux.HandleFunc("GET /v1/cluster/chunk", nd.handleChunk)
+	mux.HandleFunc("GET /v1/cluster/join", nd.handleJoin)
 	mux.HandleFunc("GET /v1/cluster/status", nd.handleStatus)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Gossip piggyback, both directions. A request from a peer is
+		// also first-hand evidence the peer is alive.
+		if fv := r.Header.Get(fromHeader); fv != "" {
+			if k, err := strconv.Atoi(fv); err == nil && k >= 0 && k < len(nd.cfg.Peers) && k != nd.cfg.Self {
+				nd.health.success(k)
+				nd.health.absorb(r.Header.Get(healthHeader), k, nd.cfg.Self)
+			}
+		}
+		if g := nd.health.gossip(); g != "" {
+			w.Header().Set(healthHeader, g)
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // queryInt64 parses a required decimal query parameter.
@@ -78,15 +177,21 @@ func (nd *Node) queryN(r *http.Request) (int64, error) {
 }
 
 // handleExchange serves round 2 to one requesting peer: the label
-// arrangements of this node's source blocks are drawn from their
-// streams and the payload segments destined for the requester's target
+// arrangements of source slot `from`'s blocks are drawn from their
+// streams and the payload segments destined for target slot `to`'s
 // blocks are streamed out, each prefixed with the matrix entry it
-// realizes.
+// realizes. The node serves any source slot it replicates — the
+// arrangements are derived from the slot's streams, so every duty
+// holder ships identical bytes — and refuses slots outside its duty,
+// which is what keeps R=1 failures honest: a dead primary's
+// contributions are then not derivable from anyone, and the build
+// errors instead of silently recomputing the whole cluster's work on
+// one box.
 //
 // The handler is deliberately stateless: the matrix and arrangements
 // are recomputed per request rather than cached per (n, seed). With
 // N-1 requesters per permutation that redoes the O(n/N) arrangement
-// work N-1 times per node — the trade is bounded peer-facing memory
+// work N-1 times per slot — the trade is bounded peer-facing memory
 // (O(m_i) per in-flight request, no second cache to size against the
 // shard LRU) for CPU that is already dwarfed by a shard build's wire
 // traffic. If exchange CPU ever dominates a profile, the fix is a
@@ -115,20 +220,30 @@ func (nd *Node) handleExchange(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("cluster: cluster size mismatch: peer nodes=%s, this node nodes=%d", nv, len(nd.cfg.Peers)), http.StatusConflict)
 		return
 	}
+	from64, err := queryInt64(r, "from")
+	from := int(from64)
+	if err != nil || from < 0 || from >= len(nd.cfg.Peers) {
+		http.Error(w, fmt.Sprintf("cluster: bad from=%q: want a shard slot in [0, %d)", q.Get("from"), len(nd.cfg.Peers)), http.StatusBadRequest)
+		return
+	}
+	if !nd.hasDuty(nd.cfg.Self, from) {
+		http.Error(w, fmt.Sprintf("cluster: this node does not replicate source slot %d (replicas=%d)", from, nd.cfg.Replicas), http.StatusForbidden)
+		return
+	}
 	to64, err := queryInt64(r, "to")
 	to := int(to64)
-	if err != nil || to < 0 || to >= len(nd.cfg.Peers) || to == nd.cfg.Self {
-		http.Error(w, fmt.Sprintf("cluster: bad to=%q: want a peer index other than this node's %d", q.Get("to"), nd.cfg.Self), http.StatusBadRequest)
+	if err != nil || to < 0 || to >= len(nd.cfg.Peers) {
+		http.Error(w, fmt.Sprintf("cluster: bad to=%q: want a shard slot in [0, %d)", q.Get("to"), len(nd.cfg.Peers)), http.StatusBadRequest)
 		return
 	}
 
-	p, nodes, self := nd.cfg.Procs, len(nd.cfg.Peers), nd.cfg.Self
+	p, nodes := nd.cfg.Procs, len(nd.cfg.Peers)
 	sizes := core.EvenBlocks(n, p)
 	off := blockOffsets(n, p)
 	streams := engine.CGMStreams(seed, p)
 	a := commat.SampleSeq(streams[0], sizes, sizes)
-	sLo, sHi := blockSpan(p, nodes, self) // our source blocks
-	tLo, tHi := blockSpan(p, nodes, to)   // the requester's target blocks
+	sLo, sHi := blockSpan(p, nodes, from) // the served source slot's blocks
+	tLo, tHi := blockSpan(p, nodes, to)   // the requested target slot's blocks
 
 	w.Header().Set("Content-Type", "application/octet-stream")
 	bw := bufio.NewWriterSize(w, 1<<15)
@@ -147,7 +262,7 @@ func (nd *Node) handleExchange(w http.ResponseWriter, r *http.Request) {
 	writeU64(uint64(n))
 	writeI32(int32(p))
 	writeI32(int32(nodes))
-	writeI32(int32(self))
+	writeI32(int32(from))
 	writeI32(int32(to))
 
 	var shipped int64
@@ -178,21 +293,48 @@ func (nd *Node) handleExchange(w http.ResponseWriter, r *http.Request) {
 	nd.exchangeItems.Add(shipped)
 }
 
-// fetchExchange performs one requester leg of round 2: it pulls from
-// peer r the payloads r's source blocks route into this node's target
-// blocks and hands each verified segment to place(i, j, seg).
-func (nd *Node) fetchExchange(r int, n int64, seed uint64, a *commat.Matrix, place func(i, j int, seg []int64)) error {
-	p, nodes, self := nd.cfg.Procs, len(nd.cfg.Peers), nd.cfg.Self
-	u := fmt.Sprintf("%s/v1/cluster/exchange?n=%d&seed=%d&p=%d&nodes=%d&to=%d",
-		nd.cfg.Peers[r], n, seed, p, nodes, self)
-	resp, err := nd.client.Get(u)
+// fetchExchangeSlot performs one requester leg of round 2 with replica
+// failover: it pulls the payloads source slot `from`'s blocks route
+// into target slot `to`'s blocks from one of `from`'s duty holders —
+// candidates ranked by observed health, primary first — advancing to
+// the next replica on any error. Every attempt's failure is kept in
+// the returned chain (each wrapped as a *PeerError naming the peer and
+// round), so a fully dead replica set is diagnosable per peer.
+func (nd *Node) fetchExchangeSlot(from, to int, n int64, seed uint64, a *commat.Matrix, place func(i, j int, seg []int64)) error {
+	cands := nd.health.rank(nd.replicasOf(from))
+	var attempts []error
+	for try, k := range cands {
+		if try > 0 {
+			nd.failovers.Add(1)
+		}
+		err := nd.fetchExchange(k, from, to, n, seed, a, place)
+		if err == nil {
+			return nil
+		}
+		attempts = append(attempts, err)
+	}
+	return fmt.Errorf("cluster: no replica of source slot %d answered the round-2 exchange: %w", from, errors.Join(attempts...))
+}
+
+// fetchExchange pulls one exchange leg from peer k and hands each
+// verified segment to place(i, j, seg). Any failure — transport,
+// status, framing or matrix disagreement — comes back as a *PeerError
+// carrying k's address and the round. place must tolerate partial
+// invocation before an error: segments are verified before placement
+// and identical across replicas, so a retry simply overwrites the same
+// values.
+func (nd *Node) fetchExchange(k, from, to int, n int64, seed uint64, a *commat.Matrix, place func(i, j int, seg []int64)) error {
+	p, nodes := nd.cfg.Procs, len(nd.cfg.Peers)
+	u := fmt.Sprintf("%s/v1/cluster/exchange?n=%d&seed=%d&p=%d&nodes=%d&from=%d&to=%d",
+		nd.cfg.Peers[k], n, seed, p, nodes, from, to)
+	resp, err := nd.peerGet(context.Background(), k, u)
 	if err != nil {
-		return fmt.Errorf("cluster: exchange with node %d: %w", r, err)
+		return nd.peerError(k, RoundExchange, "exchange", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("cluster: exchange with node %d: %s: %s", r, resp.Status, msg)
+		return nd.peerError(k, RoundExchange, "exchange", fmt.Errorf("%s: %s", resp.Status, msg))
 	}
 	br := bufio.NewReaderSize(resp.Body, 1<<15)
 	readU64 := func() (uint64, error) {
@@ -210,7 +352,7 @@ func (nd *Node) fetchExchange(r int, n int64, seed uint64, a *commat.Matrix, pla
 		return int32(binary.LittleEndian.Uint32(b[:])), nil
 	}
 	bad := func(format string, args ...any) error {
-		return fmt.Errorf("cluster: exchange with node %d: %s", r, fmt.Sprintf(format, args...))
+		return nd.peerError(k, RoundExchange, "exchange", fmt.Errorf(format, args...))
 	}
 
 	var magic [4]byte
@@ -233,13 +375,13 @@ func (nd *Node) fetchExchange(r int, n int64, seed uint64, a *commat.Matrix, pla
 		}
 	}
 	if hdr[0] != seed || int64(hdr[1]) != n || int(ints[0]) != p ||
-		int(ints[1]) != nodes || int(ints[2]) != r || int(ints[3]) != self {
+		int(ints[1]) != nodes || int(ints[2]) != from || int(ints[3]) != to {
 		return bad("config echo mismatch: got (seed=%d n=%d p=%d nodes=%d from=%d to=%d), want (%d %d %d %d %d %d)",
-			hdr[0], int64(hdr[1]), ints[0], ints[1], ints[2], ints[3], seed, n, p, nodes, r, self)
+			hdr[0], int64(hdr[1]), ints[0], ints[1], ints[2], ints[3], seed, n, p, nodes, from, to)
 	}
 
-	sLo, sHi := blockSpan(p, nodes, r)
-	tLo, tHi := blockSpan(p, nodes, self)
+	sLo, sHi := blockSpan(p, nodes, from)
+	tLo, tHi := blockSpan(p, nodes, to)
 	for i := sLo; i < sHi; i++ {
 		gotI, err := readI32()
 		if err != nil {
@@ -273,10 +415,11 @@ func (nd *Node) fetchExchange(r int, n int64, seed uint64, a *commat.Matrix, pla
 }
 
 // handleChunk serves values of the (seed, n) permutation strictly from
-// this node's own shard, as little-endian int64s: the peer-to-peer leg
-// of a routed Permuter.Chunk. A range that leaves the shard is refused
-// (416) — the caller, not this node, is responsible for routing, which
-// is what makes proxy loops impossible by construction.
+// the shard slots this node replicates, as little-endian int64s: the
+// peer-to-peer leg of a routed Permuter.Chunk. A range that leaves
+// every replicated slot is refused (416) — the caller, not this node,
+// is responsible for routing, which is what makes proxy loops
+// impossible by construction.
 func (nd *Node) handleChunk(w http.ResponseWriter, r *http.Request) {
 	nd.chunkReqs.Add(1)
 	n, err := nd.queryN(r)
@@ -299,15 +442,23 @@ func (nd *Node) handleChunk(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("cluster: bad len: %v", err), http.StatusBadRequest)
 		return
 	}
-	lo, hi := nd.ShardRange(n, nd.cfg.Self)
-	// length is compared against the remaining extent, never added to
-	// start: start+length could overflow int64 and slip past the guard.
-	if start < lo || start > hi || length > hi-start {
-		http.Error(w, fmt.Sprintf("cluster: range starting at %d for %d values outside this node's shard [%d, %d)",
-			start, length, lo, hi), http.StatusRequestedRangeNotSatisfiable)
+	// Find the replicated slot containing the range. length is compared
+	// against the remaining extent, never added to start: start+length
+	// could overflow int64 and slip past the guard.
+	slot := -1
+	for _, s := range nd.duties(nd.cfg.Self) {
+		lo, hi := nd.ShardRange(n, s)
+		if start >= lo && start <= hi && length <= hi-start {
+			slot = s
+			break
+		}
+	}
+	if slot < 0 {
+		http.Error(w, fmt.Sprintf("cluster: range starting at %d for %d values outside every shard this node replicates (node %d, replicas %d)",
+			start, length, nd.cfg.Self, nd.cfg.Replicas), http.StatusRequestedRangeNotSatisfiable)
 		return
 	}
-	sh, err := nd.shard(n, seed)
+	sh, err := nd.shard(slot, n, seed)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("cluster: building shard: %v", err), http.StatusInternalServerError)
 		return
@@ -325,23 +476,24 @@ func (nd *Node) handleChunk(w http.ResponseWriter, r *http.Request) {
 	nd.chunkItems.Add(length)
 }
 
-// fetchChunk pulls values [start, start+len(dst)) from the owning peer
-// r's shard into dst.
-func (nd *Node) fetchChunk(r int, n int64, seed uint64, dst []int64, start int64) error {
+// fetchChunk pulls values [start, start+len(dst)) of slot's shard from
+// peer k into dst. ctx is the hedging seam: a losing racer is
+// cancelled here, and the cancellation is not held against k's health.
+func (nd *Node) fetchChunk(ctx context.Context, k int, n int64, seed uint64, dst []int64, start int64) error {
 	u := fmt.Sprintf("%s/v1/cluster/chunk?n=%d&seed=%d&start=%d&len=%d",
-		nd.cfg.Peers[r], n, seed, start, len(dst))
-	resp, err := nd.client.Get(u)
+		nd.cfg.Peers[k], n, seed, start, len(dst))
+	resp, err := nd.peerGet(ctx, k, u)
 	if err != nil {
-		return fmt.Errorf("cluster: chunk from node %d: %w", r, err)
+		return nd.peerError(k, RoundServe, "chunk", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("cluster: chunk from node %d: %s: %s", r, resp.Status, msg)
+		return nd.peerError(k, RoundServe, "chunk", fmt.Errorf("%s: %s", resp.Status, msg))
 	}
 	buf := make([]byte, 8*len(dst))
 	if _, err := io.ReadFull(resp.Body, buf); err != nil {
-		return fmt.Errorf("cluster: chunk from node %d: short read: %w", r, err)
+		return nd.peerError(k, RoundServe, "chunk", fmt.Errorf("short read: %w", err))
 	}
 	for i := range dst {
 		dst[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
@@ -351,12 +503,86 @@ func (nd *Node) fetchChunk(r int, n int64, seed uint64, dst []int64, start int64
 	return nil
 }
 
+// readRemoteSpan fills dst with [start, start+len(dst)) of slot's
+// shard from the slot's replica set: candidates ranked by observed
+// health (a peer marked down is tried last, so routing has already
+// skipped it before any timer runs), primary replica breaking ties.
+// The first candidate is fired immediately; if it has not answered
+// within the hedge budget the next one is raced against it, first
+// answer wins and the loser is cancelled via its context; any error
+// advances to the next candidate at once. Each racer fills a private
+// buffer so a cancelled loser can never tear the winner's bytes — not
+// that it could change them: every replica serves identical values,
+// which is why hedging is safe at all.
+func (nd *Node) readRemoteSpan(slot int, n int64, seed uint64, dst []int64, start int64) error {
+	cands := nd.health.rank(nd.replicasOf(slot))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type result struct {
+		cand   int
+		hedged bool
+		buf    []int64
+		err    error
+	}
+	ch := make(chan result, len(cands))
+	launched := 0
+	launch := func(hedged bool) {
+		k := cands[launched]
+		launched++
+		go func() {
+			buf := make([]int64, len(dst))
+			err := nd.fetchChunk(ctx, k, n, seed, buf, start)
+			ch <- result{cand: k, hedged: hedged, buf: buf, err: err}
+		}()
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	if nd.cfg.HedgeAfter > 0 && len(cands) > 1 {
+		timer := time.NewTimer(nd.cfg.HedgeAfter)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	pending := 1
+	var attempts []error
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(cands) {
+				nd.hedgedReqs.Add(1)
+				launch(true)
+				pending++
+			}
+		case res := <-ch:
+			pending--
+			if res.err == nil {
+				copy(dst, res.buf)
+				if res.hedged {
+					nd.hedgeWins.Add(1)
+				}
+				return nil
+			}
+			attempts = append(attempts, res.err)
+			if launched < len(cands) {
+				nd.failovers.Add(1)
+				launch(false)
+				pending++
+			} else if pending == 0 {
+				return fmt.Errorf("cluster: no replica of shard slot %d answered: %w", slot, errors.Join(attempts...))
+			}
+		}
+	}
+}
+
 // handleStatus serves a JSON introspection page: the node's place in
-// the cluster, the peer list, resident shards and traffic counters —
-// the operator's first stop when two nodes disagree (see
-// OPERATIONS.md).
+// the cluster, its replica duties, the peer list and each peer's
+// observed health, resident shards and traffic counters — the
+// operator's first stop when two nodes disagree (see OPERATIONS.md).
 func (nd *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 	type shardInfo struct {
+		Slot  int    `json:"slot"`
 		N     int64  `json:"n"`
 		Seed  uint64 `json:"seed"`
 		Start int64  `json:"start"`
@@ -368,17 +594,30 @@ func (nd *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 		e := el.Value.(*shardEntry)
 		if e.built.Load() && e.err == nil {
 			resident = append(resident, shardInfo{
-				N: e.key.n, Seed: e.key.seed, Start: e.sh.Start, End: e.sh.End,
+				Slot: e.key.slot, N: e.key.n, Seed: e.key.seed, Start: e.sh.Start, End: e.sh.End,
 			})
 		}
 	}
 	nd.mu.Unlock()
+	states := nd.health.snapshot()
+	peerHealth := make([]string, len(states))
+	for k, s := range states {
+		if k == nd.cfg.Self {
+			peerHealth[k] = "self"
+		} else {
+			peerHealth[k] = s.String()
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"node":            nd.cfg.Self,
 		"nodes":           len(nd.cfg.Peers),
 		"procs":           nd.cfg.Procs,
+		"replicas":        nd.cfg.Replicas,
+		"duties":          nd.duties(nd.cfg.Self),
 		"peers":           nd.cfg.Peers,
+		"peer_health":     peerHealth,
+		"geometry_hash":   nd.Geometry().Hash(),
 		"max_shards":      nd.cfg.MaxShards,
 		"resident_shards": resident,
 		"counters": map[string]int64{
@@ -390,6 +629,10 @@ func (nd *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 			"proxied_items":     nd.proxyItems.Load(),
 			"shard_builds":      nd.shardBuilds.Load(),
 			"shard_build_ns":    nd.shardBuildNs.Load(),
+			"hedged_requests":   nd.hedgedReqs.Load(),
+			"hedge_wins":        nd.hedgeWins.Load(),
+			"failovers":         nd.failovers.Load(),
+			"join_requests":     nd.joinReqs.Load(),
 		},
 	})
 }
@@ -404,9 +647,21 @@ func (nd *Node) WriteMetrics(w io.Writer) {
 	counter("permd_cluster_exchange_requests_total", "Round-2 exchange requests served to peers.", nd.exchangeReqs.Load())
 	counter("permd_cluster_exchange_items_total", "Values shipped to peers in exchange responses.", nd.exchangeItems.Load())
 	counter("permd_cluster_chunk_requests_total", "Shard-local chunk requests served to peers.", nd.chunkReqs.Load())
-	counter("permd_cluster_chunk_items_total", "Values served to peers from the local shard.", nd.chunkItems.Load())
+	counter("permd_cluster_chunk_items_total", "Values served to peers from local shards.", nd.chunkItems.Load())
 	counter("permd_cluster_proxied_requests_total", "Chunk requests this node sent to owning peers.", nd.proxyReqs.Load())
 	counter("permd_cluster_proxied_items_total", "Values fetched from owning peers.", nd.proxyItems.Load())
 	counter("permd_cluster_shard_builds_total", "Shards assembled through the three exchange rounds.", nd.shardBuilds.Load())
 	counter("permd_cluster_shard_build_ns_total", "Wall nanoseconds spent assembling shards.", nd.shardBuildNs.Load())
+	counter("permd_cluster_hedged_requests_total", "Secondary replica reads fired by the hedge timer.", nd.hedgedReqs.Load())
+	counter("permd_cluster_hedge_wins_total", "Hedged replica reads that answered first.", nd.hedgeWins.Load())
+	counter("permd_cluster_failovers_total", "Replica requests fired because an earlier replica failed.", nd.failovers.Load())
+	counter("permd_cluster_join_requests_total", "Join handshakes served to peers.", nd.joinReqs.Load())
+	fmt.Fprintf(w, "# HELP permd_cluster_peer_health Peer health as observed by this node (0 healthy, 1 suspect, 2 down).\n")
+	fmt.Fprintf(w, "# TYPE permd_cluster_peer_health gauge\n")
+	for k, s := range nd.health.snapshot() {
+		if k == nd.cfg.Self {
+			continue
+		}
+		fmt.Fprintf(w, "permd_cluster_peer_health{peer=\"%d\"} %d\n", k, int(s))
+	}
 }

@@ -7,10 +7,11 @@ import "fmt"
 // shard by shard across the cluster. It implements the randperm
 // ChunkSource contract, so the public streaming API (and the permd
 // chunk endpoint behind it) can sit directly on top: a Chunk request is
-// split at shard boundaries, the local span is copied from this node's
-// shard and every remote span is fetched from its owning peer's
-// shard-local chunk endpoint. Routing happens exactly once — peers only
-// ever serve their own shard — so no request can loop.
+// split at shard-slot boundaries, spans of slots this node replicates
+// are copied from local shards, and every remote span is read from the
+// slot's replica set — health-ranked, hedged after the latency budget,
+// failing over on error. Routing happens exactly once — peers only
+// ever serve slots they replicate — so no request can loop.
 type Permuter struct {
 	nd   *Node
 	n    int64
@@ -18,9 +19,8 @@ type Permuter struct {
 }
 
 // Permuter returns a handle on the (seed, n) cluster permutation. The
-// call is free; this node's shard is assembled lazily on first local
-// access (or eagerly via Materialize), and remote spans are fetched per
-// request.
+// call is free; local shards are assembled lazily on first access (or
+// eagerly via Materialize), and remote spans are fetched per request.
 func (nd *Node) Permuter(n int64, seed uint64) *Permuter {
 	return &Permuter{nd: nd, n: n, seed: seed}
 }
@@ -29,9 +29,12 @@ func (nd *Node) Permuter(n int64, seed uint64) *Permuter {
 func (p *Permuter) Len() int64 { return p.n }
 
 // Chunk fills dst with π(start) .. π(start+len(dst)-1), clamped to the
-// domain end, and returns how many values were written. Spans owned by
-// this node come from the local shard; spans owned by peers are fetched
-// over HTTP. The error is nil exactly when every owning node answered.
+// domain end, and returns how many values were written. Spans of slots
+// this node replicates come from local shards; the rest are read from
+// live replicas over HTTP. The error is nil exactly when every span
+// was served; on error, dst may hold spans that preceded the failure —
+// callers that promise atomicity (the permd chunk endpoint does) must
+// buffer before exposing bytes.
 func (p *Permuter) Chunk(dst []int64, start int64) (int, error) {
 	if start < 0 || start > p.n {
 		return 0, fmt.Errorf("cluster: Chunk start %d outside [0, %d]", start, p.n)
@@ -46,13 +49,13 @@ func (p *Permuter) Chunk(dst []int64, start int64) (int, error) {
 		_, hi := nd.ShardRange(p.n, k)
 		stop := min(hi, start+m)
 		span := dst[pos-start : stop-start]
-		if k == nd.cfg.Self {
-			sh, err := nd.shard(p.n, p.seed)
+		if nd.hasDuty(nd.cfg.Self, k) {
+			sh, err := nd.shard(k, p.n, p.seed)
 			if err != nil {
 				return 0, err
 			}
 			copy(span, sh.Vals[pos-sh.Start:])
-		} else if err := nd.fetchChunk(k, p.n, p.seed, span, pos); err != nil {
+		} else if err := nd.readRemoteSpan(k, p.n, p.seed, span, pos); err != nil {
 			return 0, err
 		}
 		pos = stop
@@ -60,19 +63,31 @@ func (p *Permuter) Chunk(dst []int64, start int64) (int, error) {
 	return int(m), nil
 }
 
-// Materialize assembles this node's shard now (running the exchange
-// rounds with every peer) instead of on first access, and reports the
-// error. Remote shards are their owners' to build.
+// Materialize assembles every shard this node replicates now (running
+// the exchange rounds with the needed peers) instead of on first
+// access, and reports the first error. With Replicas = R that is R
+// shards — a warm replica can serve any slot it owns the moment its
+// primary dies. Remote slots outside this node's duty are their
+// owners' to build.
 func (p *Permuter) Materialize() error {
 	if p.n == 0 {
 		return nil
 	}
-	_, err := p.nd.shard(p.n, p.seed)
-	return err
+	for _, slot := range p.nd.duties(p.nd.cfg.Self) {
+		if _, err := p.nd.shard(slot, p.n, p.seed); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// Materialized reports whether this node's shard of the permutation is
-// resident.
+// Materialized reports whether every shard this node replicates is
+// resident for this permutation.
 func (p *Permuter) Materialized() bool {
-	return p.nd.shardResident(p.n, p.seed)
+	for _, slot := range p.nd.duties(p.nd.cfg.Self) {
+		if !p.nd.shardResident(slot, p.n, p.seed) {
+			return false
+		}
+	}
+	return true
 }

@@ -8,11 +8,16 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"randperm/internal/cluster/chaos"
 )
 
 // bootServiceCluster starts `nodes` full permd handlers in cluster mode
 // on loopback servers, exactly as N processes started with
-// -peers/-node would run.
+// -peers/-node would run, and waits for every node's /healthz before
+// returning — readiness is polled, never assumed from elapsed time, so
+// the cluster tests are deterministic under -race and load.
 func bootServiceCluster(t *testing.T, nodes int, base Config) []*httptest.Server {
 	t.Helper()
 	servers := make([]*httptest.Server, nodes)
@@ -34,7 +39,32 @@ func bootServiceCluster(t *testing.T, nodes int, base Config) []*httptest.Server
 		}
 		muxes[k].Handle("/", s)
 	}
+	for _, srv := range servers {
+		waitHealthy(t, srv.URL)
+	}
 	return servers
+}
+
+// waitHealthy polls url's /healthz until it answers 200 or the deadline
+// passes. httptest servers are ready at return, so the first probe
+// normally succeeds; the poll is the pattern the process-level drills
+// (and CI) rely on, kept here so every cluster test goes through it.
+func waitHealthy(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became healthy: %v", url, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func httpGet(t *testing.T, url string) (int, string) {
@@ -151,5 +181,106 @@ func TestClusterServiceSurfaces(t *testing.T) {
 	bad.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/perm/1/chunk?n=200&len=10&backend=cluster", nil))
 	if rec.Code != http.StatusInternalServerError || !strings.Contains(rec.Body.String(), "mismatch") {
 		t.Errorf("mismatched cluster width served: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// bootChaosServiceCluster is bootServiceCluster with every node behind
+// a chaos.Proxy, for service-level failure drills.
+func bootChaosServiceCluster(t *testing.T, nodes int, base Config) ([]*httptest.Server, []*chaos.Proxy) {
+	t.Helper()
+	servers := make([]*httptest.Server, nodes)
+	proxies := make([]*chaos.Proxy, nodes)
+	peers := make([]string, nodes)
+	muxes := make([]*http.ServeMux, nodes)
+	for k := range servers {
+		muxes[k] = http.NewServeMux()
+		proxies[k] = chaos.Wrap(muxes[k])
+		servers[k] = httptest.NewServer(proxies[k])
+		peers[k] = servers[k].URL
+		t.Cleanup(servers[k].Close)
+	}
+	for k := range servers {
+		cfg := base
+		cfg.ClusterPeers = peers
+		cfg.ClusterNode = k
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		muxes[k].Handle("/", s)
+	}
+	for _, srv := range servers {
+		waitHealthy(t, srv.URL)
+	}
+	return servers, proxies
+}
+
+// TestClusterServiceReplicatedDrill is the service-level acceptance
+// drill: a 3-node R=2 permd cluster with any one node dead still
+// answers a backend=cluster chunk from every survivor with exactly the
+// single-node bytes — the client cannot tell a failure happened.
+func TestClusterServiceReplicatedDrill(t *testing.T) {
+	const n, seed, procs = 600, 42, 6
+	single := newTestServer(t, Config{Procs: procs})
+	path := fmt.Sprintf("/v1/perm/%d/chunk?n=%d&len=%d&backend=cluster", seed, n, n)
+	_, want := get(t, single, path)
+	if len(want) == 0 || strings.Contains(want, "permd:") {
+		t.Fatalf("single-node reference failed: %q", want)
+	}
+	for victim := 0; victim < 3; victim++ {
+		servers, proxies := bootChaosServiceCluster(t, 3, Config{Procs: procs, ClusterReplicas: 2})
+		// Replication shows up in the liveness echo.
+		var h struct {
+			Cluster struct {
+				Replicas int    `json:"replicas"`
+				Geometry string `json:"geometry"`
+			} `json:"cluster"`
+		}
+		_, hz := httpGet(t, servers[0].URL+"/healthz")
+		if err := json.Unmarshal([]byte(hz), &h); err != nil {
+			t.Fatal(err)
+		}
+		if h.Cluster.Replicas != 2 || h.Cluster.Geometry == "" {
+			t.Fatalf("healthz cluster block missing replication: %s", hz)
+		}
+		proxies[victim].Kill()
+		for reader := 0; reader < 3; reader++ {
+			if reader == victim {
+				continue
+			}
+			code, body := httpGet(t, servers[reader].URL+path)
+			if code != http.StatusOK {
+				t.Fatalf("kill node %d, read node %d: status %d: %s", victim, reader, code, body)
+			}
+			if body != want {
+				t.Errorf("kill node %d, read node %d: served bytes differ from single-node run", victim, reader)
+			}
+		}
+	}
+}
+
+// TestClusterServiceAtomicFailure is the R=1 half of the contract at
+// the HTTP layer: a chunk that needs a dead peer fails with a 500 and
+// ZERO payload bytes — the response is assembled before the first byte
+// is written, so a mid-range peer death can never leak a partial
+// permutation to a client.
+func TestClusterServiceAtomicFailure(t *testing.T) {
+	const n, seed = 500, 3
+	servers, proxies := bootChaosServiceCluster(t, 2, Config{Procs: 4})
+	proxies[1].Kill()
+	// The whole domain: node 0's own shard would be served first if the
+	// handler streamed eagerly — the dead far shard must take the whole
+	// response down instead.
+	path := fmt.Sprintf("/v1/perm/%d/chunk?n=%d&len=%d&backend=cluster", seed, n, n)
+	code, body := httpGet(t, servers[0].URL+path)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("R=1 chunk with a dead peer: status %d: %.80s", code, body)
+	}
+	if !strings.HasPrefix(body, "permd:") {
+		t.Errorf("error response carries payload bytes before the error: %.80s", body)
+	}
+	// The typed peer error survives to the operator-visible message.
+	if !strings.Contains(body, "node 1") {
+		t.Errorf("error does not name the dead peer: %.200s", body)
 	}
 }

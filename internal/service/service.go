@@ -42,6 +42,7 @@ package service
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"mime"
@@ -100,6 +101,17 @@ type Config struct {
 	ClusterPeers []string
 	// ClusterNode is this node's index in ClusterPeers.
 	ClusterNode int
+	// ClusterReplicas is the shard replication factor R (default 1):
+	// every shard slot is owned by R consecutive nodes, each deriving
+	// the slot's bytes independently from the shared streams, so any
+	// R-1 nodes can die without changing a byte served. All nodes must
+	// agree on it (the join handshake checks).
+	ClusterReplicas int
+	// ClusterHedge is the latency budget a routed read gives the first
+	// replica before racing the next one (0 means the cluster default
+	// of 50 ms; negative disables hedging). Node-local: it cannot
+	// affect any byte served, only tail latency.
+	ClusterHedge time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -147,11 +159,13 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg, defBackend: def, mux: http.NewServeMux()}
 	if len(cfg.ClusterPeers) > 0 {
 		s.node, err = cluster.New(cluster.Config{
-			Self:      cfg.ClusterNode,
-			Peers:     cfg.ClusterPeers,
-			Procs:     cfg.Procs,
-			MaxShards: cfg.MaxHandles,
-			MaxN:      cfg.MaxN,
+			Self:       cfg.ClusterNode,
+			Peers:      cfg.ClusterPeers,
+			Procs:      cfg.Procs,
+			Replicas:   cfg.ClusterReplicas,
+			MaxShards:  cfg.MaxHandles,
+			MaxN:       cfg.MaxN,
+			HedgeAfter: cfg.ClusterHedge,
 		})
 		if err != nil {
 			return nil, err
@@ -220,42 +234,42 @@ func queryInt64(r *http.Request, name string, def int64) (int64, error) {
 // a /v1/perm/* request into a cached handle. It applies the MaxN gate to
 // materializing backends and answers the error itself when it returns ok
 // == false.
-func (s *Server) permuterFor(w http.ResponseWriter, r *http.Request) (pm *randperm.Permuter, n int64, ok bool) {
+func (s *Server) permuterFor(w http.ResponseWriter, r *http.Request) (pm *randperm.Permuter, n int64, backend randperm.Backend, ok bool) {
 	seed, err := strconv.ParseUint(r.PathValue("seed"), 10, 64)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "bad seed %q: want a decimal uint64", r.PathValue("seed"))
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	n, err = queryInt64(r, "n", -1)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	if n < 0 {
 		s.httpError(w, http.StatusBadRequest, "missing or negative n: the domain size n is required")
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
-	backend := s.defBackend
+	backend = s.defBackend
 	if bs := r.URL.Query().Get("backend"); bs != "" {
 		backend, err = randperm.ParseBackend(bs)
 		if err != nil {
 			s.httpError(w, http.StatusBadRequest, "%v", err)
-			return nil, 0, false
+			return nil, 0, 0, false
 		}
 	}
 	if backend != randperm.BackendBijective && n > s.cfg.MaxN {
 		s.httpError(w, http.StatusBadRequest,
 			"n=%d exceeds this server's materialization bound %d for backend %s; use backend=bijective for larger domains",
 			n, s.cfg.MaxN, backend)
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	pm, err = s.cache.get(handleKey{n: n, seed: seed, backend: backend})
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "building permutation: %v", err)
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	w.Header().Set("Permd-Backend", backend.String())
-	return pm, n, true
+	return pm, n, backend, true
 }
 
 // handleChunk serves GET /v1/perm/{seed}/chunk?n=&start=&len=&backend= —
@@ -264,7 +278,7 @@ func (s *Server) permuterFor(w http.ResponseWriter, r *http.Request) (pm *randpe
 // case the response streams through the pooled buffer page by page.
 func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[epChunk].Add(1)
-	pm, n, ok := s.permuterFor(w, r)
+	pm, n, backend, ok := s.permuterFor(w, r)
 	if !ok {
 		return
 	}
@@ -290,6 +304,35 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	}
 
 	began := time.Now()
+	if backend == randperm.BackendCluster && s.node != nil {
+		// Atomic path: a cluster read can fail at any peer at any span
+		// boundary, and the failure-semantics contract (OPERATIONS.md)
+		// promises no partial bytes — so the whole response is assembled
+		// in memory before the first byte goes out. Bounded: cluster
+		// requests passed the MaxN gate, so length ≤ MaxN words.
+		out := make([]int64, length)
+		if _, err := pm.Chunk(out, start); err != nil {
+			s.httpError(w, http.StatusInternalServerError, "reading chunk: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		bw := bufio.NewWriterSize(w, 1<<15)
+		var line []byte
+		for _, v := range out {
+			line = strconv.AppendInt(line[:0], v, 10)
+			line = append(line, '\n')
+			if _, err := bw.Write(line); err != nil {
+				return // client went away
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		s.met.items.Add(length)
+		s.met.chunkItems.Add(length)
+		s.met.chunkNs.Add(time.Since(began).Nanoseconds())
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	bufp := s.bufs.Get().(*[]int64)
 	defer s.bufs.Put(bufp)
@@ -355,7 +398,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 // layer can paper over.
 func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[epAt].Add(1)
-	pm, n, ok := s.permuterFor(w, r)
+	pm, n, _, ok := s.permuterFor(w, r)
 	if !ok {
 		return
 	}
@@ -542,12 +585,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.node != nil {
 		body["cluster"] = map[string]any{
-			"node":  s.node.Self(),
-			"nodes": s.node.Nodes(),
-			"procs": s.node.Procs(),
+			"node":     s.node.Self(),
+			"nodes":    s.node.Nodes(),
+			"procs":    s.node.Procs(),
+			"replicas": s.node.Replicas(),
+			"geometry": s.node.Geometry().Hash(),
 		}
 	}
 	json.NewEncoder(w).Encode(body)
+}
+
+// JoinCluster runs the deterministic membership handshake against every
+// peer, polling unreachable ones until ctx expires. It is a no-op (nil)
+// outside cluster mode. A geometry mismatch is fatal by design — the
+// returned error wraps cluster.ErrGeometryMismatch and the daemon
+// should refuse to serve; see cmd/permd.
+func (s *Server) JoinCluster(ctx context.Context) error {
+	if s.node == nil {
+		return nil
+	}
+	return s.node.JoinAll(ctx)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
