@@ -63,8 +63,25 @@ func main() {
 		replicas   = flag.Int("replicas", 1, "cluster shard replication factor R: each shard is derived by R consecutive nodes")
 		hedgeAfter = flag.Duration("hedge-after", 50*time.Millisecond, "latency budget before a cluster read races a second replica (negative disables hedging)")
 		joinWait   = flag.Duration("join-wait", 60*time.Second, "how long the boot-time cluster join handshake polls unreachable peers")
+
+		quota          = flag.String("quota", "", "default per-client budget in items served: RATE/UNIT[:BURST] (e.g. 5000/s:20000), or off")
+		quotaOverrides = flag.String("quota-overrides", "", "per-client budgets replacing -quota: CLIENT=SPEC,... (e.g. etl=50000/s:200000,canary=off)")
+		quotaClients   = flag.Int("quota-clients", 4096, "client quota buckets tracked before the least-recent one is forgotten")
+		maxBuilds      = flag.Int("max-builds", 4, "materializing handle builds allowed to run concurrently")
+		buildWait      = flag.Duration("build-wait", 10*time.Second, "how long a request queues for a build slot before 503 + Retry-After")
 	)
 	flag.Parse()
+
+	quotaDefault, err := service.ParseQuotaSpec(*quota)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permd: -quota:", err)
+		os.Exit(2)
+	}
+	overrides, err := service.ParseQuotaOverrides(*quotaOverrides)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permd: -quota-overrides:", err)
+		os.Exit(2)
+	}
 
 	var peerList []string
 	if *peers != "" {
@@ -75,11 +92,18 @@ func main() {
 		}
 	}
 	handler, err := service.New(service.Config{
-		Procs:           *procs,
-		MaxHandles:      *maxHandles,
-		MaxN:            *maxN,
-		MaxChunk:        *maxChunk,
-		MaxBody:         *maxBody,
+		Procs:      *procs,
+		MaxHandles: *maxHandles,
+		MaxN:       *maxN,
+		MaxChunk:   *maxChunk,
+		MaxBody:    *maxBody,
+		Quota: service.QuotaConfig{
+			Default:    quotaDefault,
+			Overrides:  overrides,
+			MaxClients: *quotaClients,
+		},
+		MaxBuilds:       *maxBuilds,
+		BuildWait:       *buildWait,
 		DefaultBackend:  *backend,
 		ClusterPeers:    peerList,
 		ClusterNode:     *node,

@@ -1,0 +1,38 @@
+// Native fuzz targets for the public parsing surface. CI runs each for
+// a short -fuzztime as a smoke pass; longer local runs just work:
+//
+//	go test -run='^$' -fuzz=FuzzParseBackend -fuzztime=60s .
+package randperm_test
+
+import (
+	"testing"
+
+	"randperm"
+)
+
+// FuzzParseBackend: ParseBackend must never panic, and every accepted
+// spelling must round-trip — the canonical String() of the parsed
+// backend parses back to the same backend. That is the property flag
+// parsing, /healthz echoes and the conformance fixtures all lean on.
+func FuzzParseBackend(f *testing.F) {
+	for _, s := range []string{
+		"sim", "shmem", "sharedmem", "shared-mem", "inplace", "in-place",
+		"mergeshuffle", "bijective", "feistel", "cluster", "cgm",
+		"", "SIM", "shmem ", "bijectiv", "sim\x00", "日本語",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		b, err := randperm.ParseBackend(s)
+		if err != nil {
+			return // rejected input: the only contract is "no panic"
+		}
+		back, err := randperm.ParseBackend(b.String())
+		if err != nil {
+			t.Fatalf("canonical name %q of accepted input %q does not parse: %v", b.String(), s, err)
+		}
+		if back != b {
+			t.Fatalf("round trip %q -> %v -> %q -> %v", s, b, b.String(), back)
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"randperm/internal/engine"
+	"randperm/internal/harness/testkit"
 	"randperm/internal/stats"
 )
 
@@ -17,24 +18,17 @@ import (
 // servers wired to each other, mirroring N permd processes with -peers.
 func bootCluster(t *testing.T, nodes, procs int) []*Node {
 	t.Helper()
-	servers := make([]*httptest.Server, nodes)
-	muxes := make([]*http.ServeMux, nodes)
-	peers := make([]string, nodes)
-	for k := range servers {
-		muxes[k] = http.NewServeMux()
-		servers[k] = httptest.NewServer(muxes[k])
-		peers[k] = servers[k].URL
-		t.Cleanup(servers[k].Close)
-	}
 	nds := make([]*Node, nodes)
-	for k := range nds {
+	testkit.Loopback(t, nodes, func(k int, peers []string) http.Handler {
 		nd, err := New(Config{Self: k, Peers: peers, Procs: procs})
 		if err != nil {
 			t.Fatal(err)
 		}
-		muxes[k].Handle("/v1/cluster/", nd.Handler())
 		nds[k] = nd
-	}
+		mux := http.NewServeMux()
+		mux.Handle("/v1/cluster/", nd.Handler())
+		return mux
+	})
 	return nds
 }
 

@@ -4,12 +4,12 @@ import (
 	"context"
 	"errors"
 	"net/http"
-	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"randperm/internal/cluster/chaos"
+	"randperm/internal/harness/testkit"
 	"randperm/internal/stats"
 )
 
@@ -19,19 +19,8 @@ import (
 // non-nil, adjusts each node's Config before construction.
 func bootChaosCluster(t *testing.T, nodes, procs, replicas int, mod func(*Config)) ([]*Node, []*chaos.Proxy) {
 	t.Helper()
-	servers := make([]*httptest.Server, nodes)
-	muxes := make([]*http.ServeMux, nodes)
-	proxies := make([]*chaos.Proxy, nodes)
-	peers := make([]string, nodes)
-	for k := range servers {
-		muxes[k] = http.NewServeMux()
-		proxies[k] = chaos.Wrap(muxes[k])
-		servers[k] = httptest.NewServer(proxies[k])
-		peers[k] = servers[k].URL
-		t.Cleanup(servers[k].Close)
-	}
 	nds := make([]*Node, nodes)
-	for k := range nds {
+	_, proxies := testkit.LoopbackChaos(t, nodes, func(k int, peers []string) http.Handler {
 		cfg := Config{Self: k, Peers: peers, Procs: procs, Replicas: replicas}
 		if mod != nil {
 			mod(&cfg)
@@ -40,9 +29,11 @@ func bootChaosCluster(t *testing.T, nodes, procs, replicas int, mod func(*Config
 		if err != nil {
 			t.Fatal(err)
 		}
-		muxes[k].Handle("/v1/cluster/", nd.Handler())
 		nds[k] = nd
-	}
+		mux := http.NewServeMux()
+		mux.Handle("/v1/cluster/", nd.Handler())
+		return mux
+	})
 	return nds, proxies
 }
 

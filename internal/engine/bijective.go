@@ -312,7 +312,7 @@ func PermuteSliceBijective[T any](data []T, chunks int, opt Options) ([]T, error
 	for c, s := range sizes {
 		off[c+1] = off[c] + s
 	}
-	pool := NewPool(min(opt.workers(), chunks), opt.Seed)
+	pool := NewPoolCancel(min(opt.workers(), chunks), opt.Seed, opt.Cancel)
 	defer pool.Close()
 	if err := pool.For(chunks, func(c int) {
 		var idx [bijPage]int64
@@ -355,7 +355,7 @@ func PermuteBlocksBijective[T any](in [][]T, outSizes []int64, opt Options) ([][
 	for c, s := range sizes {
 		off[c+1] = off[c] + s
 	}
-	pool := NewPool(min(opt.workers(), p), opt.Seed)
+	pool := NewPoolCancel(min(opt.workers(), p), opt.Seed, opt.Cancel)
 	defer pool.Close()
 	if err := pool.For(p, func(c int) {
 		var idx [bijPage]int64

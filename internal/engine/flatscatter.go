@@ -60,7 +60,7 @@ func permuteFlat[T any](data []T, chunks int, opt Options, cutoff, maxK int) ([]
 	streams := xrand.NewStreams(opt.Seed, chunks+k)
 	// No phase is wider than max(chunks, k) tasks, so a larger pool
 	// would only spawn idle workers (and their streams).
-	pool := NewPool(min(opt.workers(), max(chunks, k)), opt.Seed)
+	pool := NewPoolCancel(min(opt.workers(), max(chunks, k)), opt.Seed, opt.Cancel)
 	defer pool.Close()
 
 	// Phase 1: i.i.d. bucket labels, generated per chunk so chunks can

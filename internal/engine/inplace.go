@@ -65,7 +65,7 @@ func ShuffleInPlace[T any](data []T, blocks int, opt Options) error {
 		off[i+1] = off[i] + int(s)
 	}
 
-	pool := NewPool(min(opt.workers(), b), opt.Seed)
+	pool := NewPoolCancel(min(opt.workers(), b), opt.Seed, opt.Cancel)
 	defer pool.Close()
 
 	// Phase 1: independent leaf Fisher-Yates shuffles, one stream each.

@@ -1,12 +1,20 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"randperm/internal/xrand"
 )
+
+// ErrCanceled is the error a cancelable Pool (NewPoolCancel) returns
+// from For/ForRNG when the cancel channel closes before the range is
+// exhausted: tasks not yet claimed are abandoned, tasks already running
+// finish their current call. Callers that carry a context should map it
+// onto ctx.Err(); the engine layer has no context of its own.
+var ErrCanceled = errors.New("engine: canceled")
 
 // Pool is a fixed set of long-lived worker goroutines that the
 // shared-memory backends dispatch their phases onto. One engine
@@ -36,17 +44,29 @@ import (
 // time to call For/ForRNG; the pool itself never outlives the engine
 // call that created it.
 type Pool struct {
-	jobs []chan *poolJob // one channel per worker, jobs are broadcast
-	wg   sync.WaitGroup  // worker goroutines
+	jobs   []chan *poolJob // one channel per worker, jobs are broadcast
+	wg     sync.WaitGroup  // worker goroutines
+	cancel <-chan struct{} // non-nil on cancelable pools (NewPoolCancel)
 }
 
 // NewPool starts a pool of `workers` goroutines (minimum 1), each with
 // its own long-jump-separated RNG stream derived from seed.
 func NewPool(workers int, seed uint64) *Pool {
+	return NewPoolCancel(workers, seed, nil)
+}
+
+// NewPoolCancel is NewPool with a cancellation channel: when cancel is
+// closed, every in-flight For/ForRNG stops claiming new tasks and
+// returns ErrCanceled. Cancellation is checked between tasks, so its
+// granularity is one task (one block, one merge node, one index page) —
+// a closed channel never interrupts a task mid-run, which keeps the
+// determinism contract intact for the tasks that did complete. A nil
+// channel (NewPool) disables cancellation entirely.
+func NewPoolCancel(workers int, seed uint64, cancel <-chan struct{}) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{jobs: make([]chan *poolJob, workers)}
+	p := &Pool{jobs: make([]chan *poolJob, workers), cancel: cancel}
 	rngs := xrand.NewLongStreams(seed, workers)
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -91,7 +111,7 @@ func (p *Pool) ForRNG(n int, fn func(i int, rng *xrand.Xoshiro256)) error {
 	if n <= 0 {
 		return nil
 	}
-	job := &poolJob{n: n, fn: fn}
+	job := &poolJob{n: n, fn: fn, cancel: p.cancel}
 	job.wg.Add(len(p.jobs))
 	for _, ch := range p.jobs {
 		ch <- job
@@ -103,16 +123,36 @@ func (p *Pool) ForRNG(n int, fn func(i int, rng *xrand.Xoshiro256)) error {
 // poolJob is one parallel-for: workers race on the atomic index counter
 // until the range is exhausted.
 type poolJob struct {
-	n     int
-	fn    func(i int, rng *xrand.Xoshiro256)
-	next  atomic.Int64
-	wg    sync.WaitGroup
-	mu    sync.Mutex
-	first error
+	n      int
+	fn     func(i int, rng *xrand.Xoshiro256)
+	cancel <-chan struct{}
+	next   atomic.Int64
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	first  error
+}
+
+// canceled reports whether the job's cancel channel has closed. A nil
+// channel never reports canceled.
+func (j *poolJob) canceled() bool {
+	select {
+	case <-j.cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 func (j *poolJob) run(rng *xrand.Xoshiro256) {
 	for {
+		if j.canceled() {
+			j.mu.Lock()
+			if j.first == nil {
+				j.first = ErrCanceled
+			}
+			j.mu.Unlock()
+			return
+		}
 		i := int(j.next.Add(1)) - 1
 		if i >= j.n {
 			return

@@ -23,6 +23,13 @@ type Options struct {
 	// ignores it. Changing Rounds selects a different keyed family:
 	// outputs are versioned by (Seed, Rounds), see bijective.go.
 	Rounds int
+	// Cancel, when non-nil, aborts the run early once closed: worker
+	// pools stop claiming tasks and the engine call returns ErrCanceled
+	// (mapped to the caller's context error by the randperm layer). It
+	// cannot affect any byte of a run that completes — cancellation is
+	// checked only between tasks, and a canceled run returns no output
+	// at all. A nil channel (the zero value) disables cancellation.
+	Cancel <-chan struct{}
 }
 
 func (o Options) workers() int {
@@ -108,7 +115,7 @@ func permute[T any](in [][]T, outSizes []int64, opt Options) ([]T, [][]T, error)
 	streams := xrand.NewStreams(opt.Seed, 1+p+pp)
 	// No phase is wider than max(p, pp) tasks, so a larger pool would
 	// only spawn idle workers (and their streams).
-	pool := NewPool(min(opt.workers(), max(p, pp)), opt.Seed)
+	pool := NewPoolCancel(min(opt.workers(), max(p, pp)), opt.Seed, opt.Cancel)
 	defer pool.Close()
 
 	// Phase 1: one exact communication-matrix sample plus the prefix

@@ -1,0 +1,110 @@
+// Package testkit is the shared scaffolding for the HTTP-layer test
+// suites: booting loopback node fleets (plain or behind chaos proxies),
+// readiness polling, and one-line request helpers. The cluster suite,
+// the service suite and the failure drills all boot topologies the same
+// way; keeping the boot code here means a change to the boot contract
+// (readiness, cleanup, peer wiring) lands in every suite at once.
+//
+// The package deliberately imports neither internal/cluster nor
+// internal/service — their test files are internal to those packages,
+// so an import either way would cycle. Callers pass a build closure
+// that constructs the per-node handler from (node index, peer URLs).
+package testkit
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"randperm/internal/cluster/chaos"
+)
+
+// Loopback boots nodes loopback HTTP servers wired to each other,
+// mirroring N processes started with -peers: every server's URL goes
+// into the shared peer list, then build(k, peers) constructs node k's
+// handler with the complete list in hand. Servers are closed via
+// t.Cleanup.
+func Loopback(t testing.TB, nodes int, build func(node int, peers []string) http.Handler) []*httptest.Server {
+	t.Helper()
+	servers, muxes, peers := newFleet(t, nodes, nil)
+	mount(t, muxes, peers, build)
+	return servers
+}
+
+// LoopbackChaos is Loopback with every node's handler behind a
+// chaos.Proxy, so drills can kill, stall, corrupt or partition any
+// node at any point.
+func LoopbackChaos(t testing.TB, nodes int, build func(node int, peers []string) http.Handler) ([]*httptest.Server, []*chaos.Proxy) {
+	t.Helper()
+	proxies := make([]*chaos.Proxy, nodes)
+	servers, muxes, peers := newFleet(t, nodes, proxies)
+	mount(t, muxes, peers, build)
+	return servers, proxies
+}
+
+// newFleet starts the empty servers first — their URLs are the peer
+// list every node's config needs — and fills proxies when non-nil.
+func newFleet(t testing.TB, nodes int, proxies []*chaos.Proxy) ([]*httptest.Server, []*http.ServeMux, []string) {
+	t.Helper()
+	servers := make([]*httptest.Server, nodes)
+	muxes := make([]*http.ServeMux, nodes)
+	peers := make([]string, nodes)
+	for k := range servers {
+		muxes[k] = http.NewServeMux()
+		var h http.Handler = muxes[k]
+		if proxies != nil {
+			proxies[k] = chaos.Wrap(muxes[k])
+			h = proxies[k]
+		}
+		servers[k] = httptest.NewServer(h)
+		peers[k] = servers[k].URL
+		t.Cleanup(servers[k].Close)
+	}
+	return servers, muxes, peers
+}
+
+func mount(t testing.TB, muxes []*http.ServeMux, peers []string, build func(node int, peers []string) http.Handler) {
+	t.Helper()
+	for k := range muxes {
+		muxes[k].Handle("/", build(k, peers))
+	}
+}
+
+// WaitHealthy polls url's /healthz until it answers 200 or the
+// deadline passes. httptest servers are ready at return, so the first
+// probe normally succeeds; the poll is the pattern the process-level
+// drills (and CI) rely on, kept here so every suite goes through it.
+func WaitHealthy(t testing.TB, url string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became healthy: %v", url, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Get performs one GET over the network and returns status + body.
+func Get(t testing.TB, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}

@@ -29,6 +29,12 @@ type handleEntry struct {
 	once sync.Once
 	pm   *randperm.Permuter
 	err  error
+	// gate serializes and bounds the handle's lazy materialization (see
+	// admission.go): handle *construction* is cheap and runs on the Once
+	// above, but the n-word build a materializing handle defers is
+	// admitted through the server's build semaphore and canceled when
+	// every waiting client disconnects.
+	gate buildGate
 }
 
 // handleCache is an LRU of Permuter handles keyed by (n, seed, backend).
@@ -62,9 +68,10 @@ func newHandleCache(capacity int, met *metrics, build func(handleKey) (*randperm
 	}
 }
 
-// get returns the cached handle for key, constructing it (once, shared
-// across racing callers) on a miss.
-func (c *handleCache) get(key handleKey) (*randperm.Permuter, error) {
+// get returns the cache entry for key, constructing its handle (once,
+// shared across racing callers) on a miss. Callers read the handle from
+// entry.pm and run materializing builds through the entry's gate.
+func (c *handleCache) get(key handleKey) (*handleEntry, error) {
 	c.mu.Lock()
 	var e *handleEntry
 	if el, ok := c.entries[key]; ok {
@@ -98,7 +105,7 @@ func (c *handleCache) get(key handleKey) (*randperm.Permuter, error) {
 		c.mu.Unlock()
 		return nil, e.err
 	}
-	return e.pm, nil
+	return e, nil
 }
 
 // len reports how many handles are resident (for /healthz).

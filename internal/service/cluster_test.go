@@ -3,14 +3,13 @@ package service
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
-	"time"
 
 	"randperm/internal/cluster/chaos"
+	"randperm/internal/harness/testkit"
 )
 
 // bootServiceCluster starts `nodes` full permd handlers in cluster mode
@@ -20,16 +19,7 @@ import (
 // the cluster tests are deterministic under -race and load.
 func bootServiceCluster(t *testing.T, nodes int, base Config) []*httptest.Server {
 	t.Helper()
-	servers := make([]*httptest.Server, nodes)
-	peers := make([]string, nodes)
-	muxes := make([]*http.ServeMux, nodes)
-	for k := range servers {
-		muxes[k] = http.NewServeMux()
-		servers[k] = httptest.NewServer(muxes[k])
-		peers[k] = servers[k].URL
-		t.Cleanup(servers[k].Close)
-	}
-	for k := range servers {
+	servers := testkit.Loopback(t, nodes, func(k int, peers []string) http.Handler {
 		cfg := base
 		cfg.ClusterPeers = peers
 		cfg.ClusterNode = k
@@ -37,48 +27,17 @@ func bootServiceCluster(t *testing.T, nodes int, base Config) []*httptest.Server
 		if err != nil {
 			t.Fatal(err)
 		}
-		muxes[k].Handle("/", s)
-	}
+		return s
+	})
 	for _, srv := range servers {
-		waitHealthy(t, srv.URL)
+		testkit.WaitHealthy(t, srv.URL)
 	}
 	return servers
 }
 
-// waitHealthy polls url's /healthz until it answers 200 or the deadline
-// passes. httptest servers are ready at return, so the first probe
-// normally succeeds; the poll is the pattern the process-level drills
-// (and CI) rely on, kept here so every cluster test goes through it.
-func waitHealthy(t *testing.T, url string) {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		resp, err := http.Get(url + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return
-			}
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("%s never became healthy: %v", url, err)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-}
-
 func httpGet(t *testing.T, url string) (int, string) {
 	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp.StatusCode, string(body)
+	return testkit.Get(t, url)
 }
 
 // TestClusterServiceByteIdentical is the service-level acceptance
@@ -188,18 +147,7 @@ func TestClusterServiceSurfaces(t *testing.T) {
 // a chaos.Proxy, for service-level failure drills.
 func bootChaosServiceCluster(t *testing.T, nodes int, base Config) ([]*httptest.Server, []*chaos.Proxy) {
 	t.Helper()
-	servers := make([]*httptest.Server, nodes)
-	proxies := make([]*chaos.Proxy, nodes)
-	peers := make([]string, nodes)
-	muxes := make([]*http.ServeMux, nodes)
-	for k := range servers {
-		muxes[k] = http.NewServeMux()
-		proxies[k] = chaos.Wrap(muxes[k])
-		servers[k] = httptest.NewServer(proxies[k])
-		peers[k] = servers[k].URL
-		t.Cleanup(servers[k].Close)
-	}
-	for k := range servers {
+	servers, proxies := testkit.LoopbackChaos(t, nodes, func(k int, peers []string) http.Handler {
 		cfg := base
 		cfg.ClusterPeers = peers
 		cfg.ClusterNode = k
@@ -207,10 +155,10 @@ func bootChaosServiceCluster(t *testing.T, nodes int, base Config) ([]*httptest.
 		if err != nil {
 			t.Fatal(err)
 		}
-		muxes[k].Handle("/", s)
-	}
+		return s
+	})
 	for _, srv := range servers {
-		waitHealthy(t, srv.URL)
+		testkit.WaitHealthy(t, srv.URL)
 	}
 	return servers, proxies
 }

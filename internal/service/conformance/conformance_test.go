@@ -1,0 +1,292 @@
+// The permd contract, executed three ways against the same golden
+// table: straight into the in-process router, over a loopback TCP
+// daemon, and through the permclient SDK. A fixture that passes in one
+// mode and fails in another is the bug this file exists to catch.
+package conformance
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"randperm/internal/harness/testkit"
+	"randperm/internal/service"
+	"randperm/permclient"
+)
+
+func newServer(t testing.TB) *service.Server {
+	t.Helper()
+	s, err := service.New(ServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestConformanceInProcess runs the table against Server.ServeHTTP
+// directly — no sockets, the mode unit tests and fuzzers use.
+func TestConformanceInProcess(t *testing.T) {
+	s := newServer(t)
+	Run(t, func(t *testing.T, f Fixture) Response {
+		var body io.Reader
+		if f.Body != "" {
+			body = strings.NewReader(f.Body)
+		}
+		req := httptest.NewRequest(f.Method, f.Path, body)
+		for k, v := range f.Header {
+			req.Header.Set(k, v)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		return Response{Status: rec.Code, Body: rec.Body.String(), Header: headerSubset(rec.Header(), f)}
+	})
+}
+
+// TestConformanceLoopbackTCP runs the table through a real HTTP server
+// and client — the bytes a deployed daemon actually puts on the wire.
+func TestConformanceLoopbackTCP(t *testing.T) {
+	ts := httptest.NewServer(newServer(t))
+	defer ts.Close()
+	Run(t, func(t *testing.T, f Fixture) Response {
+		var body io.Reader
+		if f.Body != "" {
+			body = strings.NewReader(f.Body)
+		}
+		req, err := http.NewRequest(f.Method, ts.URL+f.Path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range f.Header {
+			req.Header.Set(k, v)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Response{Status: resp.StatusCode, Body: string(b), Header: headerSubset(resp.Header, f)}
+	})
+}
+
+func headerSubset(h http.Header, f Fixture) map[string]string {
+	out := make(map[string]string, len(f.WantHeader))
+	for k := range f.WantHeader {
+		out[k] = h.Get(k)
+	}
+	return out
+}
+
+// TestConformanceClient holds the SDK to the same server: every
+// endpoint answers the oracle values, misuse surfaces as typed
+// *APIErrors, and quota exhaustion is an ErrThrottled carrying the
+// server's Retry-After.
+func TestConformanceClient(t *testing.T) {
+	ts := httptest.NewServer(newServer(t))
+	defer ts.Close()
+	ctx := context.Background()
+	// MaxRetries < 0 disables retries: the 429/400 fixtures must surface
+	// the first answer, not sit out a 3600 s Retry-After.
+	c := permclient.New(permclient.Config{
+		BaseURL: ts.URL, HTTPClient: ts.Client(), MaxRetries: -1, PageSize: 16,
+	})
+
+	t.Run("health", func(t *testing.T) {
+		h, err := c.Health(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Status != "ok" || h.Procs != Procs || !h.Quota {
+			t.Errorf("health = %+v", h)
+		}
+	})
+	t.Run("chunk", func(t *testing.T) {
+		got, err := c.Chunk(ctx, 42, 100, 0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertInt64s(t, got, ChunkExpect(t, 42, 100, 0, 5))
+	})
+	t.Run("at hedged", func(t *testing.T) {
+		hedged := permclient.New(permclient.Config{
+			BaseURL: ts.URL, HTTPClient: ts.Client(), MaxRetries: -1,
+			HedgeAfter: time.Millisecond,
+		})
+		for i := int64(0); i < 20; i++ {
+			v, err := hedged.At(ctx, 42, 100, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ChunkExpect(t, 42, 100, i, 1)[0]; v != want {
+				t.Fatalf("At(%d) = %d, want %d", i, v, want)
+			}
+		}
+	})
+	t.Run("stream pages the whole domain", func(t *testing.T) {
+		var got []int64
+		for v, err := range c.Stream(ctx, 42, 200, 0) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, v)
+		}
+		assertInt64s(t, got, ChunkExpect(t, 42, 200, 0, 200))
+	})
+	t.Run("stream break abandons cleanly", func(t *testing.T) {
+		n := 0
+		for _, err := range c.Stream(ctx, 42, 1000, 0) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n++; n == 3 {
+				break
+			}
+		}
+		// The server must still be fully serviceable afterwards.
+		if _, err := c.At(ctx, 42, 100, 0); err != nil {
+			t.Fatalf("server unhealthy after abandoned stream: %v", err)
+		}
+	})
+	t.Run("shuffle", func(t *testing.T) {
+		in := []string{"alpha", "bravo", "charlie", "delta"}
+		got, err := c.Shuffle(ctx, 11, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ShuffleExpect(t, 11, in)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("Shuffle = %v, want %v", got, want)
+		}
+	})
+	t.Run("sample", func(t *testing.T) {
+		got, err := c.Sample(ctx, 50, 5, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 5 {
+			t.Errorf("Sample returned %d values, want 5", len(got))
+		}
+	})
+	t.Run("typed contract errors", func(t *testing.T) {
+		_, err := c.At(ctx, 42, 100, 100) // i == n
+		var apiErr *permclient.APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("want *APIError, got %v", err)
+		}
+		if apiErr.StatusCode != 400 || apiErr.Temporary() {
+			t.Errorf("contract violation = %+v, want permanent 400", apiErr)
+		}
+		if errors.Is(err, permclient.ErrThrottled) {
+			t.Error("a 400 must not match ErrThrottled")
+		}
+	})
+	t.Run("shuffle gate is typed", func(t *testing.T) {
+		_, err := c.Shuffle(ctx, 1, []string{"a", "b"}, permclient.WithBackend("bijective"))
+		var apiErr *permclient.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+			t.Fatalf("bijective shuffle: want 400 APIError, got %v", err)
+		}
+	})
+	t.Run("quota exhaustion is ErrThrottled with Retry-After", func(t *testing.T) {
+		metered := permclient.New(permclient.Config{
+			BaseURL: ts.URL, HTTPClient: ts.Client(), MaxRetries: -1,
+			ClientID: MeteredClient,
+		})
+		if _, err := metered.Chunk(ctx, 42, 100, 0, MeteredBudget); err != nil {
+			t.Fatalf("budgeted chunk refused: %v", err)
+		}
+		_, err := metered.At(ctx, 42, 100, 0)
+		if !errors.Is(err, permclient.ErrThrottled) {
+			t.Fatalf("exhausted bucket: want ErrThrottled, got %v", err)
+		}
+		var apiErr *permclient.APIError
+		if !errors.As(err, &apiErr) || apiErr.RetryAfter != time.Hour {
+			t.Errorf("throttle Retry-After = %v, want 1h (fixed budget)", err)
+		}
+		if !apiErr.Temporary() {
+			t.Error("429 must be Temporary")
+		}
+	})
+}
+
+// TestConformanceCancelMidStream pins the mid-stream cancellation
+// behavior in both reachable modes. In-process: a request whose
+// context is already dead is cut off at the first page boundary — the
+// handler refuses to format values nobody will read. Over TCP: a
+// client that walks away mid-body leaves the server fully serviceable,
+// and the bytes it did receive are a prefix of the true stream.
+func TestConformanceCancelMidStream(t *testing.T) {
+	t.Run("in-process dead context", func(t *testing.T) {
+		s := newServer(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		req := httptest.NewRequest("GET", "/v1/perm/42/chunk?n=10000&len=10000", nil).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		// The handler notices the dead context at the first page boundary
+		// and aborts before anything leaves the write buffer: a client
+		// that was gone before serving began receives no payload bytes.
+		if got := rec.Body.Len(); got != 0 {
+			t.Errorf("dead-context chunk served %d bytes, want 0", got)
+		}
+	})
+	t.Run("tcp disconnect", func(t *testing.T) {
+		ts := httptest.NewServer(newServer(t))
+		defer ts.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/perm/42/chunk?n=4000000&len=4000000", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 256)
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		resp.Body.Close()
+		if code, _ := testkit.Get(t, ts.URL+"/healthz"); code != http.StatusOK {
+			t.Fatalf("server unhealthy after client disconnect: %d", code)
+		}
+		got, err := permclient.New(permclient.Config{BaseURL: ts.URL, HTTPClient: ts.Client()}).
+			Chunk(context.Background(), 42, 4000000, 0, 64)
+		if err != nil {
+			t.Fatalf("chunk after disconnect: %v", err)
+		}
+		// The prefix we did read before walking away is a prefix of the
+		// true stream — a disconnect must never corrupt served bytes.
+		full := make([]string, len(got))
+		for i, v := range got {
+			full[i] = strconv.FormatInt(v, 10)
+		}
+		prefix := string(buf)
+		prefix = prefix[:strings.LastIndexByte(prefix, '\n')+1]
+		if !strings.HasPrefix(strings.Join(full, "\n")+"\n", prefix) {
+			t.Error("bytes served before the disconnect are not a prefix of the true stream")
+		}
+	})
+}
+
+func assertInt64s(t *testing.T, got, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

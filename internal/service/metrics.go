@@ -38,6 +38,23 @@ type metrics struct {
 	cacheMisses      atomic.Int64
 	cacheEvictions   atomic.Int64
 	materializations atomic.Int64
+
+	// Quota counters: throttled counts requests refused with 429,
+	// quotaItems the items actually debited from client buckets (every
+	// admitted chunk page, point read, shuffle item and sample item —
+	// the figure to compare against a client's nominal budget).
+	quotaThrottled atomic.Int64
+	quotaItems     atomic.Int64
+
+	// Admission (build gate) counters: builds admitted through the
+	// semaphore, requests that had to queue for a slot, queue-deadline
+	// refusals (503), builds canceled because every waiting client
+	// disconnected, and the in-flight build gauge.
+	admissionBuilds   atomic.Int64
+	admissionQueued   atomic.Int64
+	admissionTimeouts atomic.Int64
+	admissionCancels  atomic.Int64
+	admissionInflight atomic.Int64
 }
 
 // Endpoint indices for the requests counter.
@@ -79,6 +96,15 @@ func (m *metrics) write(w io.Writer) {
 	counter("permd_handle_cache_misses_total", "Permuter handles constructed on demand.", m.cacheMisses.Load())
 	counter("permd_handle_cache_evictions_total", "Handles dropped by the LRU past capacity.", m.cacheEvictions.Load())
 	counter("permd_materializations_total", "Lazy full-permutation builds actually run.", m.materializations.Load())
+	counter("permd_quota_throttled_total", "Requests refused with 429 by the per-client quota.", m.quotaThrottled.Load())
+	counter("permd_quota_items_charged_total", "Items debited from client quota buckets.", m.quotaItems.Load())
+	counter("permd_admission_builds_total", "Materializing builds admitted through the build gate.", m.admissionBuilds.Load())
+	counter("permd_admission_queue_waits_total", "Build requests that queued for a busy build slot.", m.admissionQueued.Load())
+	counter("permd_admission_queue_timeouts_total", "Build requests refused (503) at the queue deadline.", m.admissionTimeouts.Load())
+	counter("permd_admission_cancels_total", "Builds canceled because every waiting client disconnected.", m.admissionCancels.Load())
+	fmt.Fprintf(w, "# HELP permd_admission_builds_inflight Materializing builds running right now.\n")
+	fmt.Fprintf(w, "# TYPE permd_admission_builds_inflight gauge\n")
+	fmt.Fprintf(w, "permd_admission_builds_inflight %d\n", m.admissionInflight.Load())
 
 	// The two derived figures operators actually watch, precomputed as
 	// gauges so a bare curl needs no PromQL.

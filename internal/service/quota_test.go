@@ -1,0 +1,147 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseQuotaSpec(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    QuotaSpec
+		wantErr string
+	}{
+		{in: "", want: QuotaSpec{}},
+		{in: "off", want: QuotaSpec{}},
+		{in: "Unlimited", want: QuotaSpec{}},
+		{in: "5000/s", want: QuotaSpec{Rate: 5000, Burst: 5000}},
+		{in: "5000/s:20000", want: QuotaSpec{Rate: 5000, Burst: 20000}},
+		{in: "300000/m", want: QuotaSpec{Rate: 5000, Burst: 300000}},
+		{in: "7200/h:100", want: QuotaSpec{Rate: 2, Burst: 100}},
+		{in: "0/s:1280", want: QuotaSpec{Rate: 0, Burst: 1280}},
+		{in: "1.5/s", want: QuotaSpec{Rate: 1.5, Burst: 2}},
+		{in: "0/s", wantErr: "explicit burst"},
+		{in: "5000", wantErr: "RATE/UNIT"},
+		{in: "-1/s", wantErr: "bad rate"},
+		{in: "x/s", wantErr: "bad rate"},
+		{in: "5/d", wantErr: "bad unit"},
+		{in: "5/s:0", wantErr: "bad burst"},
+		{in: "5/s:-2", wantErr: "bad burst"},
+		{in: "5/s:x", wantErr: "bad burst"},
+	} {
+		got, err := ParseQuotaSpec(tc.in)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseQuotaSpec(%q) err = %v, want substring %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseQuotaSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseQuotaSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseQuotaOverrides(t *testing.T) {
+	m, err := ParseQuotaOverrides("etl=50000/s:200000, canary=off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["etl"]; got.Rate != 50000 || got.Burst != 200000 {
+		t.Errorf("etl = %+v", got)
+	}
+	if !m["canary"].Unlimited() {
+		t.Errorf("canary should be exempt, got %+v", m["canary"])
+	}
+	for _, bad := range []string{"noequals", "=5/s", "a=5/s,a=6/s", "a=bogus"} {
+		if _, err := ParseQuotaOverrides(bad); err == nil {
+			t.Errorf("ParseQuotaOverrides(%q) accepted", bad)
+		}
+	}
+	if m, err := ParseQuotaOverrides("  "); err != nil || m != nil {
+		t.Errorf("blank overrides = %v, %v", m, err)
+	}
+}
+
+// TestBucketRefill drives one bucket through exhaustion and refill on
+// an injected clock: the token arithmetic, not wall time, is under test.
+func TestBucketRefill(t *testing.T) {
+	q := newQuotas(QuotaConfig{Default: QuotaSpec{Rate: 10, Burst: 20}})
+	now := time.Unix(1000, 0)
+	q.now = func() time.Time { return now }
+
+	if ok, _ := q.take("c", 20); !ok {
+		t.Fatal("full bucket refused its burst")
+	}
+	ok, retry := q.take("c", 5)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	// 5 tokens at 10/s is 500ms away, but the hint never goes below 1s.
+	if retry != time.Second {
+		t.Errorf("retry = %v, want the 1s floor", retry)
+	}
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := q.take("c", 5); !ok {
+		t.Error("500ms at 10/s should refill 5 tokens")
+	}
+	if ok, _ := q.take("c", 1); ok {
+		t.Error("bucket should be empty again")
+	}
+	// Refill caps at the burst, not the elapsed time.
+	now = now.Add(time.Hour)
+	if ok, _ := q.take("c", 21); ok {
+		t.Error("refill exceeded the burst capacity")
+	}
+	if ok, _ := q.take("c", 20); !ok {
+		t.Error("burst-sized take refused after a long idle")
+	}
+}
+
+// TestBucketOversizedCost: a request costing more than the burst can
+// never be admitted, and says so with the capped hint.
+func TestBucketOversizedCost(t *testing.T) {
+	q := newQuotas(QuotaConfig{Default: QuotaSpec{Rate: 100, Burst: 10}})
+	ok, retry := q.take("c", 11)
+	if ok || retry != maxRetryAfter {
+		t.Errorf("oversized cost: ok=%v retry=%v, want refused with %v", ok, retry, maxRetryAfter)
+	}
+	// The refusal debited nothing.
+	if ok, _ := q.take("c", 10); !ok {
+		t.Error("bucket was debited by a refused request")
+	}
+}
+
+// TestBucketLRUBound: the tracked-client map stays within MaxClients;
+// an evicted client restarts with a full bucket (memory cap, not a
+// correctness boundary).
+func TestBucketLRUBound(t *testing.T) {
+	q := newQuotas(QuotaConfig{Default: QuotaSpec{Rate: 0, Burst: 4}, MaxClients: 2})
+	q.take("a", 4) // a exhausted
+	q.take("b", 1)
+	q.take("c", 1) // evicts a
+	if got := q.len(); got != 2 {
+		t.Fatalf("tracked clients = %d, want 2", got)
+	}
+	if ok, _ := q.take("a", 4); !ok {
+		t.Error("evicted client should restart with a full bucket")
+	}
+}
+
+// TestQuotaSpecString: the String round-trips through the parser.
+func TestQuotaSpecString(t *testing.T) {
+	for _, s := range []QuotaSpec{{}, {Rate: 5000, Burst: 20000}, {Rate: 0.5, Burst: 3}} {
+		back, err := ParseQuotaSpec(s.String())
+		if err != nil {
+			t.Errorf("ParseQuotaSpec(%q): %v", s.String(), err)
+		}
+		if back != s {
+			t.Errorf("round trip %+v -> %q -> %+v", s, s.String(), back)
+		}
+	}
+}

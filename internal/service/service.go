@@ -44,6 +44,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"mime"
 	"net/http"
@@ -81,6 +82,21 @@ type Config struct {
 	MaxChunk int
 	// MaxBody caps the /v1/shuffle request body in bytes (default 32 MiB).
 	MaxBody int64
+	// Quota is the multi-tenant admission budget: per-client token
+	// buckets metered in items served (chunk pages, point reads,
+	// shuffle items and sample items all pay). The zero value disables
+	// metering — the pre-quota behavior. See quota.go and the "Quotas
+	// and admission control" section of OPERATIONS.md.
+	Quota QuotaConfig
+	// MaxBuilds bounds how many materializing handle builds run
+	// concurrently (default 4): request number MaxBuilds+1 for a cold
+	// materializing key queues for a build slot instead of starting an
+	// (MaxBuilds+1)-th n-word build. Bijective handles never occupy a
+	// slot — they materialize nothing.
+	MaxBuilds int
+	// BuildWait is how long a request queues for a build slot before
+	// being refused with 503 + Retry-After (default 10s).
+	BuildWait time.Duration
 	// DefaultBackend serves /v1/perm/* requests that omit ?backend=.
 	// It is flag-shaped — "sim", "shmem", "inplace", "bijective" or
 	// "cluster", as accepted by randperm.ParseBackend — so the empty
@@ -130,6 +146,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBody <= 0 {
 		c.MaxBody = 32 << 20
 	}
+	if c.MaxBuilds <= 0 {
+		c.MaxBuilds = 4
+	}
+	if c.BuildWait <= 0 {
+		c.BuildWait = 10 * time.Second
+	}
 	if c.DefaultBackend == "" {
 		c.DefaultBackend = "bijective"
 	}
@@ -143,6 +165,8 @@ type Server struct {
 	defBackend randperm.Backend
 	met        metrics
 	cache      *handleCache
+	quota      *quotas       // nil when Config.Quota is disabled
+	buildSem   chan struct{} // materialization slots (admission.go)
 	bufs       sync.Pool     // *[]int64 of length cfg.MaxChunk
 	node       *cluster.Node // non-nil iff cluster mode is on
 	mux        *http.ServeMux
@@ -157,6 +181,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, defBackend: def, mux: http.NewServeMux()}
+	s.buildSem = make(chan struct{}, cfg.MaxBuilds)
+	if cfg.Quota.Enabled() {
+		s.quota = newQuotas(cfg.Quota)
+	}
 	if len(cfg.ClusterPeers) > 0 {
 		s.node, err = cluster.New(cluster.Config{
 			Self:       cfg.ClusterNode,
@@ -231,10 +259,10 @@ func queryInt64(r *http.Request, name string, def int64) (int64, error) {
 }
 
 // permuterFor resolves the {seed} path value and the n/backend query of
-// a /v1/perm/* request into a cached handle. It applies the MaxN gate to
-// materializing backends and answers the error itself when it returns ok
-// == false.
-func (s *Server) permuterFor(w http.ResponseWriter, r *http.Request) (pm *randperm.Permuter, n int64, backend randperm.Backend, ok bool) {
+// a /v1/perm/* request into a cached handle entry. It applies the MaxN
+// gate to materializing backends and answers the error itself when it
+// returns ok == false.
+func (s *Server) permuterFor(w http.ResponseWriter, r *http.Request) (e *handleEntry, n int64, backend randperm.Backend, ok bool) {
 	seed, err := strconv.ParseUint(r.PathValue("seed"), 10, 64)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "bad seed %q: want a decimal uint64", r.PathValue("seed"))
@@ -263,13 +291,62 @@ func (s *Server) permuterFor(w http.ResponseWriter, r *http.Request) (pm *randpe
 			n, s.cfg.MaxN, backend)
 		return nil, 0, 0, false
 	}
-	pm, err = s.cache.get(handleKey{n: n, seed: seed, backend: backend})
+	e, err = s.cache.get(handleKey{n: n, seed: seed, backend: backend})
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "building permutation: %v", err)
 		return nil, 0, 0, false
 	}
 	w.Header().Set("Permd-Backend", backend.String())
-	return pm, n, backend, true
+	return e, n, backend, true
+}
+
+// admitItems charges cost items to the requesting client's quota bucket,
+// answering 429 + Retry-After itself (and reporting false) when the
+// bucket cannot cover it. Charging happens after request validation so
+// malformed requests stay 400s, and before any serving work so a refused
+// request costs the daemon nothing.
+func (s *Server) admitItems(w http.ResponseWriter, r *http.Request, cost int64) bool {
+	if s.quota == nil {
+		return true
+	}
+	ok, retry := s.quota.take(clientKey(r), cost)
+	if ok {
+		s.met.quotaItems.Add(cost)
+		return true
+	}
+	s.met.quotaThrottled.Add(1)
+	secs := int64((retry + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	s.httpError(w, http.StatusTooManyRequests,
+		"quota exhausted for client %q: retry after %ds", clientKey(r), secs)
+	return false
+}
+
+// admitBuild forces the handle through the materialization admission
+// gate (see admission.go), mapping refusals onto HTTP: a full build
+// queue becomes 503 + Retry-After, a failed build 500, and a client
+// that disconnected while queued gets nothing (it is gone). Reports
+// whether serving may proceed.
+func (s *Server) admitBuild(w http.ResponseWriter, r *http.Request, e *handleEntry) bool {
+	err := s.ensureMaterialized(r.Context(), e)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, errBuildQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(buildWaitRetry(s.cfg.BuildWait)))
+		s.httpError(w, http.StatusServiceUnavailable, "all %d build slots busy: %v", s.cfg.MaxBuilds, err)
+		return false
+	case r.Context().Err() != nil:
+		// The client disconnected while waiting; count it, write nothing.
+		s.met.errors.Add(1)
+		return false
+	default:
+		s.httpError(w, http.StatusInternalServerError, "materializing permutation: %v", err)
+		return false
+	}
 }
 
 // handleChunk serves GET /v1/perm/{seed}/chunk?n=&start=&len=&backend= —
@@ -278,10 +355,11 @@ func (s *Server) permuterFor(w http.ResponseWriter, r *http.Request) (pm *randpe
 // case the response streams through the pooled buffer page by page.
 func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[epChunk].Add(1)
-	pm, n, backend, ok := s.permuterFor(w, r)
+	e, n, backend, ok := s.permuterFor(w, r)
 	if !ok {
 		return
 	}
+	pm := e.pm
 	start, err := queryInt64(r, "start", 0)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
@@ -301,6 +379,12 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		if rest := n - start; length > rest {
 			length = rest
 		}
+	}
+	if !s.admitItems(w, r, max(length, 1)) {
+		return
+	}
+	if !s.admitBuild(w, r, e) {
+		return
 	}
 
 	began := time.Now()
@@ -341,6 +425,12 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	var line []byte
 	served := int64(0)
 	for served < length {
+		if served > 0 && r.Context().Err() != nil {
+			// Client gone mid-stream: stop paging instead of formatting
+			// values nobody will read.
+			s.met.errors.Add(1)
+			return
+		}
 		page := buf
 		if rest := length - served; rest < int64(len(page)) {
 			page = page[:rest]
@@ -398,7 +488,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 // layer can paper over.
 func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[epAt].Add(1)
-	pm, n, _, ok := s.permuterFor(w, r)
+	e, n, _, ok := s.permuterFor(w, r)
 	if !ok {
 		return
 	}
@@ -411,11 +501,17 @@ func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "i=%d outside [0, %d)", i, n)
 		return
 	}
+	if !s.admitItems(w, r, 1) {
+		return
+	}
+	if !s.admitBuild(w, r, e) {
+		return
+	}
 	// Read through Chunk rather than At: same bytes, but an
 	// error-returning path, so a cluster peer failure becomes a 500
 	// instead of a panic.
 	var one [1]int64
-	if _, err := pm.Chunk(one[:], i); err != nil {
+	if _, err := e.pm.Chunk(one[:], i); err != nil {
 		s.httpError(w, http.StatusInternalServerError, "reading position: %v", err)
 		return
 	}
@@ -459,6 +555,10 @@ func (s *Server) handleShuffle(w http.ResponseWriter, r *http.Request) {
 	var raw []json.RawMessage
 	if asJSON {
 		if err := json.NewDecoder(body).Decode(&raw); err != nil {
+			if maxed := (*http.MaxBytesError)(nil); errors.As(err, &maxed) {
+				s.httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds this server's bound %d bytes", s.cfg.MaxBody)
+				return
+			}
 			s.httpError(w, http.StatusBadRequest, "decoding JSON array: %v", err)
 			return
 		}
@@ -469,6 +569,10 @@ func (s *Server) handleShuffle(w http.ResponseWriter, r *http.Request) {
 			items = append(items, sc.Text())
 		}
 		if err := sc.Err(); err != nil {
+			if maxed := (*http.MaxBytesError)(nil); errors.As(err, &maxed) {
+				s.httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds this server's bound %d bytes", s.cfg.MaxBody)
+				return
+			}
 			s.httpError(w, http.StatusBadRequest, "reading body: %v", err)
 			return
 		}
@@ -479,6 +583,9 @@ func (s *Server) handleShuffle(w http.ResponseWriter, r *http.Request) {
 	}
 	if int64(count) > s.cfg.MaxN {
 		s.httpError(w, http.StatusRequestEntityTooLarge, "%d items exceeds this server's bound %d", count, s.cfg.MaxN)
+		return
+	}
+	if !s.admitItems(w, r, max(int64(count), 1)) {
 		return
 	}
 	opt := randperm.Options{Procs: min(s.cfg.Procs, max(count, 1)), Seed: seed, Backend: backend}
@@ -546,6 +653,9 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if !s.admitItems(w, r, max(k, 1)) {
+		return
+	}
 	data := make([]int64, n)
 	for i := range data {
 		data[i] = int64(i)
@@ -582,6 +692,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"max_chunk":       s.cfg.MaxChunk,
 		"default_backend": s.defBackend.String(),
 		"backends":        []string{"sim", "shmem", "inplace", "bijective", "cluster"},
+		"max_builds":      s.cfg.MaxBuilds,
+		"quota":           s.quota != nil,
 	}
 	if s.node != nil {
 		body["cluster"] = map[string]any{
@@ -611,6 +723,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[epMetrics].Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.write(w)
+	if s.quota != nil {
+		fmt.Fprintf(w, "# HELP permd_quota_clients Client quota buckets currently tracked.\n")
+		fmt.Fprintf(w, "# TYPE permd_quota_clients gauge\n")
+		fmt.Fprintf(w, "permd_quota_clients %d\n", s.quota.len())
+	}
 	if s.node != nil {
 		s.node.WriteMetrics(w)
 	}

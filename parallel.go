@@ -227,44 +227,48 @@ func reportFrom(m *pro.Machine) Report {
 // populated on BackendSim, Procs-only on the other backends. The input
 // is not modified.
 func ParallelShuffle[T any](data []T, opt Options) ([]T, Report, error) {
+	return parallelShuffle(data, opt, nil)
+}
+
+// parallelShuffle is ParallelShuffle with an optional cancellation
+// channel threaded into the engine worker pools. It exists for
+// Permuter.MaterializeContext: a closed channel makes the engine stop
+// claiming tasks and the call return engine.ErrCanceled, which the
+// stream layer maps back onto the caller's context error. The Sim
+// backend has no pool and ignores cancellation (its runs are bounded by
+// the simulated machine's own size, not by n-word builds).
+func parallelShuffle[T any](data []T, opt Options, cancel <-chan struct{}) ([]T, Report, error) {
 	opt = opt.withDefaults()
 	if opt.Procs < 1 {
 		return nil, Report{}, fmt.Errorf("randperm: Procs must be positive, got %d", opt.Procs)
 	}
+	eopt := engine.Options{
+		Workers: opt.Parallelism,
+		Seed:    opt.Seed,
+		Cancel:  cancel,
+	}
 	switch opt.Backend {
 	case BackendSharedMem:
-		out, err := engine.PermuteSlice(data, opt.Procs, engine.Options{
-			Workers: opt.Parallelism,
-			Seed:    opt.Seed,
-		})
+		out, err := engine.PermuteSlice(data, opt.Procs, eopt)
 		if err != nil {
 			return nil, Report{}, err
 		}
 		return out, Report{Procs: opt.Procs}, nil
 	case BackendInPlace:
-		out, err := engine.PermuteSliceInPlace(data, opt.Procs, engine.Options{
-			Workers: opt.Parallelism,
-			Seed:    opt.Seed,
-		})
+		out, err := engine.PermuteSliceInPlace(data, opt.Procs, eopt)
 		if err != nil {
 			return nil, Report{}, err
 		}
 		return out, Report{Procs: opt.Procs}, nil
 	case BackendBijective:
-		out, err := engine.PermuteSliceBijective(data, opt.Procs, engine.Options{
-			Workers: opt.Parallelism,
-			Seed:    opt.Seed,
-			Rounds:  opt.Rounds,
-		})
+		eopt.Rounds = opt.Rounds
+		out, err := engine.PermuteSliceBijective(data, opt.Procs, eopt)
 		if err != nil {
 			return nil, Report{}, err
 		}
 		return out, Report{Procs: opt.Procs}, nil
 	case BackendCluster:
-		out, err := engine.PermuteSliceCGM(data, opt.Procs, engine.Options{
-			Workers: opt.Parallelism,
-			Seed:    opt.Seed,
-		})
+		out, err := engine.PermuteSliceCGM(data, opt.Procs, eopt)
 		if err != nil {
 			return nil, Report{}, err
 		}

@@ -1,0 +1,321 @@
+package permclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClient wires a Client to ts with time.Sleep replaced by a
+// recorder, so backoff tests assert on the durations the policy chose
+// instead of actually waiting them out.
+func fakeClient(ts *httptest.Server, cfg Config) (*Client, *[]time.Duration) {
+	cfg.BaseURL = ts.URL
+	cfg.HTTPClient = ts.Client()
+	c := New(cfg)
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	return c, &slept
+}
+
+// flaky answers failStatus (with optional Retry-After) for the first
+// `fails` requests, then serves body.
+func flaky(fails int, failStatus int, retryAfter string, body string) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(fails) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, "permd: busy", failStatus)
+			return
+		}
+		fmt.Fprint(w, body)
+	}))
+	return ts, &calls
+}
+
+// TestRetryHonorsRetryAfter: a 429 with Retry-After: 7 must override the
+// client's own (much smaller) exponential schedule. With full jitter the
+// chosen wait lands in [hint/2, hint].
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	ts, calls := flaky(2, http.StatusTooManyRequests, "7", "5\n")
+	defer ts.Close()
+	c, slept := fakeClient(ts, Config{Backoff: time.Millisecond})
+	got, err := c.Chunk(context.Background(), 1, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Chunk = %v", got)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d requests, want 3", calls.Load())
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2: %v", len(*slept), *slept)
+	}
+	for i, d := range *slept {
+		if d < 3500*time.Millisecond || d > 7*time.Second {
+			t.Errorf("sleep %d = %v, want within [3.5s, 7s] of the server hint", i, d)
+		}
+	}
+}
+
+// TestRetryExponentialBackoff: without a server hint the waits double,
+// each drawn from [base/2, base].
+func TestRetryExponentialBackoff(t *testing.T) {
+	ts, _ := flaky(3, http.StatusServiceUnavailable, "", "1\n")
+	defer ts.Close()
+	c, slept := fakeClient(ts, Config{Backoff: 100 * time.Millisecond})
+	if _, err := c.Chunk(context.Background(), 1, 10, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 3 {
+		t.Fatalf("slept %d times, want 3: %v", len(*slept), *slept)
+	}
+	for i, base := range []time.Duration{100, 200, 400} {
+		base *= time.Millisecond
+		if d := (*slept)[i]; d < base/2 || d > base {
+			t.Errorf("sleep %d = %v, want within [%v, %v]", i, d, base/2, base)
+		}
+	}
+}
+
+// TestMaxBackoffCapsHint: an absurd server hint (permd's fixed-budget
+// 3600) is clamped to MaxBackoff before jitter.
+func TestMaxBackoffCapsHint(t *testing.T) {
+	ts, _ := flaky(1, http.StatusTooManyRequests, "3600", "1\n")
+	defer ts.Close()
+	c, slept := fakeClient(ts, Config{MaxBackoff: 2 * time.Second})
+	if _, err := c.Chunk(context.Background(), 1, 10, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 || (*slept)[0] > 2*time.Second {
+		t.Errorf("slept %v, want a single wait capped at 2s", *slept)
+	}
+}
+
+// TestRetriesDisabled: MaxRetries < 0 surfaces the first refusal
+// untouched, typed and matchable.
+func TestRetriesDisabled(t *testing.T) {
+	ts, calls := flaky(1000, http.StatusTooManyRequests, "9", "")
+	defer ts.Close()
+	c, slept := fakeClient(ts, Config{MaxRetries: -1})
+	_, err := c.Chunk(context.Background(), 1, 10, 0, 1)
+	if !errors.Is(err, ErrThrottled) {
+		t.Fatalf("want ErrThrottled, got %v", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.RetryAfter != 9*time.Second || !apiErr.Temporary() {
+		t.Errorf("APIError = %+v, want Temporary with the 9s hint", apiErr)
+	}
+	if calls.Load() != 1 || len(*slept) != 0 {
+		t.Errorf("requests=%d sleeps=%d, want exactly one attempt", calls.Load(), len(*slept))
+	}
+}
+
+// TestRetryBudgetExhausted: a persistent 503 is retried exactly
+// MaxRetries times and then surfaces as ErrOverloaded.
+func TestRetryBudgetExhausted(t *testing.T) {
+	ts, calls := flaky(1000, http.StatusServiceUnavailable, "", "")
+	defer ts.Close()
+	c, _ := fakeClient(ts, Config{MaxRetries: 2})
+	_, err := c.Chunk(context.Background(), 1, 10, 0, 1)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d requests, want 1 + 2 retries", calls.Load())
+	}
+}
+
+// TestNoRetryOnContractErrors: a 400 is the caller's bug; retrying the
+// identical request is wasted load.
+func TestNoRetryOnContractErrors(t *testing.T) {
+	ts, calls := flaky(1000, http.StatusBadRequest, "", "")
+	defer ts.Close()
+	c, slept := fakeClient(ts, Config{})
+	_, err := c.Chunk(context.Background(), 1, 10, 0, 1)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 || apiErr.Temporary() {
+		t.Fatalf("want a permanent 400 APIError, got %v", err)
+	}
+	if calls.Load() != 1 || len(*slept) != 0 {
+		t.Errorf("requests=%d sleeps=%d, want exactly one attempt", calls.Load(), len(*slept))
+	}
+}
+
+// TestRetryStopsOnContextCancel: a context canceled during backoff ends
+// the call with the context's error, not another attempt.
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ts, calls := flaky(1000, http.StatusServiceUnavailable, "", "")
+	defer ts.Close()
+	c, _ := fakeClient(ts, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel() // the client walks away mid-backoff
+		return ctx.Err()
+	}
+	_, err := c.Chunk(ctx, 1, 10, 0, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d requests after cancel, want 1", calls.Load())
+	}
+}
+
+// TestHedgedAtCutsTail: the primary request stalls, the hedge answers.
+// The call must return the hedge's value long before the primary would
+// have, and the server must have seen exactly two requests.
+func TestHedgedAtCutsTail(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select { // the stalled primary
+			case <-release:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		fmt.Fprint(w, "7\n")
+	}))
+	defer ts.Close()
+	defer close(release)
+	c, _ := fakeClient(ts, Config{HedgeAfter: 5 * time.Millisecond, MaxRetries: -1})
+	v, err := c.At(context.Background(), 1, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Errorf("At = %d, want 7", v)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("server saw %d requests, want primary + hedge", calls.Load())
+	}
+}
+
+// TestHedgeFirstFailureWaitsForTwin: when the fast answer is a failure
+// but the slower twin succeeds, the call reports the success.
+func TestHedgeFirstFailureWaitsForTwin(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n == 1 {
+			time.Sleep(30 * time.Millisecond) // primary: slow success
+			fmt.Fprint(w, "7\n")
+			return
+		}
+		http.Error(w, "permd: busy", http.StatusServiceUnavailable) // hedge: fast failure
+	}))
+	defer ts.Close()
+	c, _ := fakeClient(ts, Config{HedgeAfter: time.Millisecond, MaxRetries: -1})
+	v, err := c.At(context.Background(), 1, 10, 3)
+	if err != nil {
+		t.Fatalf("hedge failure should not mask the primary's success: %v", err)
+	}
+	if v != 7 {
+		t.Errorf("At = %d, want 7", v)
+	}
+}
+
+// TestStreamPaging: the iterator walks the domain in PageSize requests,
+// asking only for what remains on the last page.
+func TestStreamPaging(t *testing.T) {
+	var starts, lens []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		starts = append(starts, q.Get("start"))
+		lens = append(lens, q.Get("len"))
+		start, _ := parseI64(q.Get("start"))
+		length, _ := parseI64(q.Get("len"))
+		for i := int64(0); i < length; i++ {
+			fmt.Fprintf(w, "%d\n", (start+i)*3)
+		}
+	}))
+	defer ts.Close()
+	c, _ := fakeClient(ts, Config{PageSize: 4})
+	var got []int64
+	for v, err := range c.Stream(context.Background(), 1, 10, 0) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, v)
+	}
+	if len(got) != 10 {
+		t.Fatalf("streamed %d values, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i)*3 {
+			t.Fatalf("value %d = %d, want %d", i, v, i*3)
+		}
+	}
+	wantStarts, wantLens := []string{"0", "4", "8"}, []string{"4", "4", "2"}
+	for i := range wantStarts {
+		if starts[i] != wantStarts[i] || lens[i] != wantLens[i] {
+			t.Errorf("page %d: start=%s len=%s, want start=%s len=%s",
+				i, starts[i], lens[i], wantStarts[i], wantLens[i])
+		}
+	}
+}
+
+// TestStreamYieldsPageError: a mid-stream failure arrives as the
+// iterator's error value, after the values already served.
+func TestStreamYieldsPageError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) > 1 {
+			http.Error(w, "permd: boom", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, "0\n1\n")
+	}))
+	defer ts.Close()
+	c, _ := fakeClient(ts, Config{PageSize: 2, MaxRetries: -1})
+	var got []int64
+	var streamErr error
+	for v, err := range c.Stream(context.Background(), 1, 10, 0) {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 2 {
+		t.Errorf("streamed %d values before the failure, want 2", len(got))
+	}
+	var apiErr *APIError
+	if !errors.As(streamErr, &apiErr) || apiErr.StatusCode != 500 {
+		t.Errorf("stream error = %v, want the page's 500 APIError", streamErr)
+	}
+}
+
+// TestConfigDefaults: the zero Config is fully usable.
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.BaseURL != "http://localhost:8080" || cfg.MaxRetries != 4 ||
+		cfg.Backoff != 100*time.Millisecond || cfg.MaxBackoff != 30*time.Second ||
+		cfg.PageSize != 1<<16 || cfg.HTTPClient == nil {
+		t.Errorf("withDefaults = %+v", cfg)
+	}
+	if got := (Config{BaseURL: "http://x/", MaxRetries: -1}).withDefaults(); got.BaseURL != "http://x" || got.MaxRetries != 0 {
+		t.Errorf("trim/disable = %+v", got)
+	}
+}
+
+// parseI64 is a tiny local ParseInt helper for the fake servers.
+func parseI64(s string) (int64, error) {
+	var v int64
+	_, err := fmt.Sscanf(s, "%d", &v)
+	return v, err
+}

@@ -1,6 +1,7 @@
 package randperm
 
 import (
+	"context"
 	"fmt"
 	"iter"
 	"sync"
@@ -53,10 +54,10 @@ import (
 type Permuter struct {
 	n    int64
 	opt  Options
-	bij  *engine.Bijection // non-nil iff opt.Backend == BackendBijective
-	mat  *permMat          // lazily-built state of the materializing backends
-	src  ChunkSource       // non-nil iff built by NewPermuterSource
-	hook func()            // OnMaterialize callback, fired inside each build
+	bij  *engine.Bijection       // non-nil iff opt.Backend == BackendBijective
+	mat  atomic.Pointer[permMat] // lazily-built state of the materializing backends
+	src  ChunkSource             // non-nil iff built by NewPermuterSource
+	hook func()                  // OnMaterialize callback, fired inside each build
 }
 
 // A ChunkSource is a pluggable backing for a Permuter: anything that
@@ -77,12 +78,13 @@ type ChunkSource interface {
 }
 
 // permMat is the lazily-materialized permutation; a fresh one is
-// installed by Reset so the sync.Once can be re-armed.
+// installed by Reset — and by a failed or canceled build — so the
+// sync.Once can be re-armed.
 type permMat struct {
 	once  sync.Once
 	perm  []int64
 	err   error
-	built atomic.Bool // set after once.Do completes, for Materialized
+	built atomic.Bool // set after a successful build, for Materialized
 }
 
 // NewPermuter validates the options and returns a handle on the
@@ -104,7 +106,7 @@ func NewPermuter(n int64, opt Options) (*Permuter, error) {
 	if opt.Backend == BackendBijective {
 		p.bij = newBijection(n, opt)
 	} else {
-		p.mat = &permMat{}
+		p.mat.Store(&permMat{})
 	}
 	return p, nil
 }
@@ -267,7 +269,7 @@ func (p *Permuter) Reset(seed uint64) {
 		p.bij = newBijection(p.n, p.opt)
 		return
 	}
-	p.mat = &permMat{}
+	p.mat.Store(&permMat{})
 }
 
 // Materialized reports whether the handle's lazy build has already run.
@@ -284,10 +286,11 @@ func (p *Permuter) Materialized() bool {
 		}
 		return false
 	}
-	if p.mat == nil {
+	m := p.mat.Load()
+	if m == nil {
 		return false
 	}
-	return p.mat.built.Load()
+	return m.built.Load()
 }
 
 // Materialize forces the lazy build now instead of on first access, and
@@ -298,6 +301,22 @@ func (p *Permuter) Materialized() bool {
 // touches the handle. Like the accessors, it is safe for concurrent use
 // and racing callers share one build.
 func (p *Permuter) Materialize() error {
+	return p.MaterializeContext(context.Background())
+}
+
+// MaterializeContext is Materialize bounded by a context: if ctx is
+// canceled while the n-word build is running, the engine worker pool
+// stops claiming tasks, the half-built permutation is discarded, and the
+// call returns ctx's error. A canceled build re-arms the handle — the
+// next access (or MaterializeContext call) starts a fresh build, exactly
+// as if the canceled one had never run — so a server can abort the work
+// a disconnected client asked for without poisoning the handle for the
+// clients that stayed. Racing callers share one build; the governing
+// context is the one whose call started it, and co-waiters that lose
+// their builder this way also receive its cancellation error (their
+// retry hits the re-armed handle). On BackendBijective and on sources
+// without a Materialize method it is a no-op returning nil.
+func (p *Permuter) MaterializeContext(ctx context.Context) error {
 	if p.src != nil {
 		if m, ok := p.src.(interface{ Materialize() error }); ok {
 			return m.Materialize()
@@ -307,7 +326,7 @@ func (p *Permuter) Materialize() error {
 	if p.bij != nil {
 		return nil
 	}
-	_, err := p.materialize()
+	_, err := p.materializeCtx(ctx)
 	return err
 }
 
@@ -327,13 +346,30 @@ func (p *Permuter) OnMaterialize(fn func()) { p.hook = fn }
 // materializing backends, by running the selected backend's engine over
 // the identity. Racing callers all observe the completed build.
 func (p *Permuter) materialize() ([]int64, error) {
-	m := p.mat
+	return p.materializeCtx(context.Background())
+}
+
+// materializeCtx is materialize under a context: the build threads
+// ctx.Done() into the engine worker pools, and a build that fails —
+// canceled or otherwise — swaps a fresh permMat into place so the next
+// accessor retries instead of replaying the error forever. The swap is
+// a CompareAndSwap against the permMat that ran the build, so a Reset
+// that raced in between is never clobbered.
+func (p *Permuter) materializeCtx(ctx context.Context) ([]int64, error) {
+	m := p.mat.Load()
 	m.once.Do(func() {
 		id := make([]int64, p.n)
 		for i := range id {
 			id[i] = int64(i)
 		}
-		m.perm, _, m.err = ParallelShuffle(id, p.opt)
+		m.perm, _, m.err = parallelShuffle(id, p.opt, ctx.Done())
+		if m.err != nil && ctx.Err() != nil {
+			m.err = fmt.Errorf("randperm: materialize: %w", ctx.Err())
+		}
+		if m.err != nil {
+			p.mat.CompareAndSwap(m, &permMat{})
+			return
+		}
 		if p.hook != nil {
 			p.hook()
 		}
