@@ -12,6 +12,12 @@
 //	permcli -n 1000000 -backend inplace -seed 7   # fast engine, same API
 //	shuf somefile | permcli -p 8                  # re-shuffle lines, uniformly
 //
+// The workload subcommands compute locally what the permd workload
+// endpoints serve, byte-for-byte (see workload.go):
+//
+//	permcli assign -seed 7 -n 1000000 -id 12345 -spec control:9,treat:1
+//	permcli epochs -seed 7 -n 50000 -epoch 3 -len 5
+//
 // The cluster backend prints, in one process, exactly the bytes an
 // N-node permd cluster serves for the same (seed, n, p) — which is how
 // CI verifies a live cluster against the library (see OPERATIONS.md):
@@ -35,7 +41,17 @@ func main() {
 }
 
 // run is main behind testable plumbing: parse args, shuffle, print.
+// The workload subcommands (workload.go) dispatch on the first
+// argument; everything else is the flag-driven shuffle path.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "assign":
+			return runAssign(args[1:], stdout, stderr)
+		case "epochs":
+			return runEpochs(args[1:], stdout, stderr)
+		}
+	}
 	fs := flag.NewFlagSet("permcli", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (

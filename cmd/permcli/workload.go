@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+
+	"randperm/internal/engine"
+	"randperm/internal/workload"
+)
+
+// The workload subcommands compute, locally and from the library, the
+// exact bytes the permd workload endpoints serve — which is how CI
+// cross-checks a live daemon against the library:
+//
+//	permcli assign -seed 7 -n 1000000 -id 12345 -spec control:9,treat:1
+//	curl 'localhost:8080/v1/assign?seed=7&n=1000000&id=12345&spec=control:9,treat:1'
+//
+// must print the same bytes (likewise permcli epochs vs /v1/epochs).
+
+// runAssign implements `permcli assign`: print the experiment bucket
+// of (seed, id) under the weight spec, byte-identical to /v1/assign.
+func runAssign(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("permcli assign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed  = fs.Uint64("seed", 1, "experiment seed")
+		n     = fs.Int64("n", 0, "id domain size (required, positive)")
+		id    = fs.Int64("id", -1, "user id in [0, n) (required)")
+		spec  = fs.String("spec", "", "bucket weights, name:weight comma-separated (required)")
+		index = fs.Bool("index", false, "print 'index name' instead of the name alone")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	sp, err := workload.ParseAssignSpec(*spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "permcli: -spec:", err)
+		return 2
+	}
+	if *n <= 0 {
+		fmt.Fprintln(stderr, "permcli: -n is required and must be positive")
+		return 2
+	}
+	if *id < 0 || *id >= *n {
+		fmt.Fprintf(stderr, "permcli: -id %d outside [0, %d)\n", *id, *n)
+		return 2
+	}
+	idx, name := workload.Assign(sp, *seed, *n, *id)
+	if *index {
+		fmt.Fprintln(stdout, idx, name)
+	} else {
+		fmt.Fprintln(stdout, name)
+	}
+	return 0
+}
+
+// runEpochs implements `permcli epochs`: print a chunk of epoch e's
+// permutation of dataset (seed, n), byte-identical to /v1/epochs.
+func runEpochs(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("permcli epochs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed   = fs.Uint64("seed", 1, "dataset seed")
+		n      = fs.Int64("n", 0, "dataset size (required)")
+		epoch  = fs.Int64("epoch", 0, "epoch number e >= 0")
+		mode   = fs.String("mode", "fresh", "epoch key derivation: fresh or recycled")
+		start  = fs.Int64("start", 0, "first position of the chunk")
+		length = fs.Int64("len", -1, "chunk length (default: to the end of the dataset)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	m, err := workload.ParseEpochMode(*mode)
+	if err != nil {
+		fmt.Fprintln(stderr, "permcli: -mode:", err)
+		return 2
+	}
+	if *n < 0 {
+		fmt.Fprintln(stderr, "permcli: -n is required and must be non-negative")
+		return 2
+	}
+	if *epoch < 0 {
+		fmt.Fprintln(stderr, "permcli: -epoch must be non-negative")
+		return 2
+	}
+	if *start < 0 || *start > *n {
+		fmt.Fprintf(stderr, "permcli: -start %d outside [0, %d]\n", *start, *n)
+		return 2
+	}
+	count := *n - *start
+	if *length >= 0 && *length < count {
+		count = *length
+	}
+	key := workload.NewEpocher(*seed, m).Key(*epoch)
+	bij := engine.NewBijection(*n, key)
+
+	out := bufio.NewWriter(stdout)
+	defer out.Flush()
+	// Page through a fixed buffer so a full-dataset epoch holds O(1)
+	// memory, same as the server's streaming loop.
+	buf := make([]int64, min(count, 1<<16))
+	var line []byte
+	for served := int64(0); served < count; {
+		page := buf
+		if rest := count - served; rest < int64(len(page)) {
+			page = page[:rest]
+		}
+		bij.Chunk(page, *start+served)
+		for _, v := range page {
+			line = strconv.AppendInt(line[:0], v, 10)
+			line = append(line, '\n')
+			out.Write(line)
+		}
+		served += int64(len(page))
+	}
+	return 0
+}

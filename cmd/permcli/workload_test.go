@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"randperm/internal/engine"
+	"randperm/internal/workload"
+)
+
+// runWL runs the tool and returns (stdout, exit code).
+func runWL(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(""), &out, &errb)
+	if code != 0 && errb.Len() == 0 {
+		t.Fatalf("permcli %v: exit %d with no diagnostic", args, code)
+	}
+	return out.String(), code
+}
+
+// TestAssignGolden pins `permcli assign` output and re-derives it from
+// the library, so the subcommand stays the byte-level oracle CI uses
+// against a live /v1/assign.
+func TestAssignGolden(t *testing.T) {
+	for _, tc := range []struct {
+		seed     uint64
+		n, id    int64
+		spec     string
+		wantName string
+	}{
+		{7, 1000, 0, "control:9,treat:1", ""},
+		{7, 1000, 123, "control:9,treat:1", ""},
+		{42, 1 << 40, 999999999, "a:1,b:2,c:3", ""},
+	} {
+		sp, err := workload.ParseAssignSpec(tc.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want := workload.Assign(sp, tc.seed, tc.n, tc.id)
+		got, code := runWL(t, "assign",
+			"-seed", strconv.FormatUint(tc.seed, 10),
+			"-n", strconv.FormatInt(tc.n, 10),
+			"-id", strconv.FormatInt(tc.id, 10),
+			"-spec", tc.spec)
+		if code != 0 {
+			t.Fatalf("assign exit %d", code)
+		}
+		if got != want+"\n" {
+			t.Errorf("assign seed=%d id=%d: got %q, want %q", tc.seed, tc.id, got, want+"\n")
+		}
+	}
+}
+
+func TestAssignIndexFlag(t *testing.T) {
+	sp, _ := workload.ParseAssignSpec("a:1,b:1")
+	idx, name := workload.Assign(sp, 5, 100, 17)
+	got, code := runWL(t, "assign", "-seed", "5", "-n", "100", "-id", "17", "-spec", "a:1,b:1", "-index")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if want := strconv.Itoa(idx) + " " + name + "\n"; got != want {
+		t.Errorf("assign -index: got %q, want %q", got, want)
+	}
+}
+
+// TestEpochsGolden: `permcli epochs` must print exactly the epoch
+// permutation the library derives, in both modes, over any chunking.
+func TestEpochsGolden(t *testing.T) {
+	const seed, n, epoch = 7, 40, 3
+	for _, mode := range []string{"fresh", "recycled"} {
+		m, err := workload.ParseEpochMode(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := workload.NewEpocher(seed, m).Key(epoch)
+		wantVals := make([]int64, n)
+		engine.NewBijection(n, key).Chunk(wantVals, 0)
+		var want strings.Builder
+		for _, v := range wantVals {
+			want.WriteString(strconv.FormatInt(v, 10))
+			want.WriteByte('\n')
+		}
+		got, code := runWL(t, "epochs", "-seed", "7", "-n", "40", "-epoch", "3", "-mode", mode)
+		if code != 0 {
+			t.Fatalf("mode %s: exit %d", mode, code)
+		}
+		if got != want.String() {
+			t.Errorf("mode %s: got %q, want %q", mode, got, want.String())
+		}
+		// A windowed read is the same bytes, offset.
+		part, code := runWL(t, "epochs", "-seed", "7", "-n", "40", "-epoch", "3", "-mode", mode, "-start", "10", "-len", "5")
+		if code != 0 {
+			t.Fatalf("mode %s window: exit %d", mode, code)
+		}
+		wantPart := strings.Join(strings.Split(strings.TrimRight(want.String(), "\n"), "\n")[10:15], "\n") + "\n"
+		if part != wantPart {
+			t.Errorf("mode %s window: got %q, want %q", mode, part, wantPart)
+		}
+	}
+}
+
+func TestWorkloadBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"assign", "-spec", "a:0", "-n", "10", "-id", "0"}, // zero weight
+		{"assign", "-spec", "a:1"},                         // missing n
+		{"assign", "-spec", "a:1", "-n", "10", "-id", "10"},
+		{"epochs", "-n", "-1"},
+		{"epochs", "-n", "10", "-mode", "stale"},
+		{"epochs", "-n", "10", "-epoch", "-1"},
+		{"epochs", "-n", "10", "-start", "11"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, strings.NewReader(""), &out, &errb); code != 2 {
+			t.Errorf("permcli %v: exit %d, want 2 (%s)", args, code, errb.String())
+		}
+	}
+}

@@ -28,6 +28,8 @@
 //	curl 'localhost:8080/v1/perm/42/at?n=1099511627776&i=7000003'
 //	printf 'a\nb\nc\n' | curl --data-binary @- 'localhost:8080/v1/shuffle?seed=7'
 //	curl 'localhost:8080/v1/sample?n=1000000&k=5&seed=7'
+//	curl 'localhost:8080/v1/assign?seed=7&n=1000000&id=12345&spec=control:9,treat:1'
+//	curl 'localhost:8080/v1/epochs?seed=7&n=50000&epoch=3&len=5'
 //	curl localhost:8080/healthz
 //	curl localhost:8080/metrics
 package main
@@ -69,6 +71,7 @@ func main() {
 		quotaClients   = flag.Int("quota-clients", 4096, "client quota buckets tracked before the least-recent one is forgotten")
 		maxBuilds      = flag.Int("max-builds", 4, "materializing handle builds allowed to run concurrently")
 		buildWait      = flag.Duration("build-wait", 10*time.Second, "how long a request queues for a build slot before 503 + Retry-After")
+		maxEpoch       = flag.Int64("max-epoch", 1<<20, "largest epoch number /v1/epochs serves")
 	)
 	flag.Parse()
 
@@ -104,6 +107,7 @@ func main() {
 		},
 		MaxBuilds:       *maxBuilds,
 		BuildWait:       *buildWait,
+		MaxEpoch:        *maxEpoch,
 		DefaultBackend:  *backend,
 		ClusterPeers:    peerList,
 		ClusterNode:     *node,

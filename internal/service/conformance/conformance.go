@@ -16,11 +16,13 @@ package conformance
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 
 	"randperm"
 	"randperm/internal/service"
+	"randperm/internal/workload"
 )
 
 // Fixed parameters every conformance server is built with. The values
@@ -32,10 +34,19 @@ const (
 	MaxN     = 4096
 	MaxChunk = 16
 	MaxBody  = 256
+	// MaxEpoch is deliberately tiny so the epoch-bound refusal is a
+	// cheap fixture.
+	MaxEpoch = 8
 	// MeteredClient is the X-Permd-Client identity the quota fixtures
 	// exhaust: a fixed (rate-0) budget of MeteredBudget items.
 	MeteredClient = "metered"
 	MeteredBudget = 8
+	// MeteredWLClient is a second metered identity for the workload
+	// quota fixtures, so they cannot disturb the exactly-drained budget
+	// of MeteredClient: assign debits 1 item, a 3-value epoch chunk
+	// debits 3, and the bucket of MeteredWLBudget = 4 is empty.
+	MeteredWLClient = "metered-wl"
+	MeteredWLBudget = 4
 )
 
 // ServerConfig is the canonical configuration under test. Every mode
@@ -47,11 +58,13 @@ func ServerConfig() service.Config {
 		MaxN:     MaxN,
 		MaxChunk: MaxChunk,
 		MaxBody:  MaxBody,
+		MaxEpoch: MaxEpoch,
 		Quota: service.QuotaConfig{
-			// Default unlimited: only the metered identity is budgeted,
+			// Default unlimited: only the metered identities are budgeted,
 			// so fixtures that are not about quotas never touch a bucket.
 			Overrides: map[string]service.QuotaSpec{
-				MeteredClient: {Rate: 0, Burst: MeteredBudget},
+				MeteredClient:   {Rate: 0, Burst: MeteredBudget},
+				MeteredWLClient: {Rate: 0, Burst: MeteredWLBudget},
 			},
 		},
 	}
@@ -269,8 +282,194 @@ func Fixtures(t testing.TB) []Fixture {
 			Path:       "/v1/perm/42/at?n=100&i=10",
 			WantStatus: 200, WantBody: bij(42, 100, 10, 1), Exact: true,
 		},
+
+		// --- workload endpoints: assignment and epoch bytes come from
+		// the internal/workload oracle, errors are pinned strings ---
+		{
+			Name: "assign", Method: "GET",
+			Path:       "/v1/assign?seed=42&n=1000&id=123&spec=control:9,treat:1",
+			WantStatus: 200,
+			WantBody:   assignOracle(t, 42, 1000, 123, "control:9,treat:1"),
+			Exact:      true,
+			WantHeader: map[string]string{
+				"Permd-Backend": "bijective",
+				"Permd-Bucket":  assignIndexOracle(t, 42, 1000, 123, "control:9,treat:1"),
+			},
+		},
+		{
+			Name: "assign explicit bijective backend", Method: "GET",
+			Path:       "/v1/assign?seed=42&n=1000&id=123&spec=control:9,treat:1&backend=bijective",
+			WantStatus: 200,
+			WantBody:   assignOracle(t, 42, 1000, 123, "control:9,treat:1"),
+			Exact:      true,
+		},
+		{
+			Name: "epochs fresh", Method: "GET",
+			Path:       "/v1/epochs?seed=7&n=40&epoch=3&len=40",
+			WantStatus: 200,
+			WantBody:   epochOracle(t, 7, 40, 3, workload.EpochFresh, 0, 40),
+			Exact:      true,
+			WantHeader: map[string]string{
+				"Permd-Backend":    "bijective",
+				"Permd-Epoch-Mode": "fresh",
+				"Permd-Epoch-Key":  epochKeyOracle(7, 3, workload.EpochFresh),
+			},
+		},
+		{
+			Name: "epochs recycled", Method: "GET",
+			Path:       "/v1/epochs?seed=7&n=40&epoch=3&mode=recycled&len=40",
+			WantStatus: 200,
+			WantBody:   epochOracle(t, 7, 40, 3, workload.EpochRecycled, 0, 40),
+			Exact:      true,
+			WantHeader: map[string]string{
+				"Permd-Epoch-Mode": "recycled",
+				"Permd-Epoch-Key":  epochKeyOracle(7, 3, workload.EpochRecycled),
+			},
+		},
+		{
+			Name: "epochs paged past MaxChunk", Method: "GET",
+			Path:       "/v1/epochs?seed=7&n=100&epoch=1&len=100",
+			WantStatus: 200,
+			WantBody:   epochOracle(t, 7, 100, 1, workload.EpochFresh, 0, 100),
+			Exact:      true,
+		},
+		{
+			Name: "epochs windowed", Method: "GET",
+			Path:       "/v1/epochs?seed=7&n=40&epoch=3&start=10&len=5",
+			WantStatus: 200,
+			WantBody:   epochOracle(t, 7, 40, 3, workload.EpochFresh, 10, 5),
+			Exact:      true,
+		},
+		{
+			Name: "assign bad weight spec", Method: "GET",
+			Path:       "/v1/assign?seed=1&n=100&id=0&spec=a:0",
+			WantStatus: 400,
+			WantBody:   "permd: bad spec: workload: bucket \"a\": weight \"0\": want a positive decimal integer\n",
+			Exact:      true,
+		},
+		{
+			Name: "assign empty spec", Method: "GET",
+			Path:       "/v1/assign?seed=1&n=100&id=0",
+			WantStatus: 400,
+			WantBody:   "permd: bad spec: workload: empty assignment spec: want name:weight,...\n",
+			Exact:      true,
+		},
+		{
+			Name: "assign refuses non-bijective backend", Method: "GET",
+			Path:       "/v1/assign?seed=1&n=100&id=0&spec=a:1&backend=shmem",
+			WantStatus: 400,
+			WantBody:   "permd: /v1/assign requires the bijective backend (got shmem): it is defined on the keyed bijection's O(1) Index\n",
+			Exact:      true,
+		},
+		{
+			Name: "assign id out of range", Method: "GET",
+			Path:       "/v1/assign?seed=1&n=100&id=100&spec=a:1",
+			WantStatus: 400,
+			WantBody:   "permd: id=100 outside [0, 100)\n", Exact: true,
+		},
+		{
+			Name: "assign missing n", Method: "GET",
+			Path:       "/v1/assign?seed=1&id=0&spec=a:1",
+			WantStatus: 400,
+			WantBody:   "permd: missing or non-positive n: the id-domain size n is required\n",
+			Exact:      true,
+		},
+		{
+			Name: "epochs refuses non-bijective backend", Method: "GET",
+			Path:       "/v1/epochs?seed=1&n=100&backend=sim",
+			WantStatus: 400,
+			WantBody:   "permd: /v1/epochs requires the bijective backend (got sim): it is defined on the keyed bijection's O(1) Index\n",
+			Exact:      true,
+		},
+		{
+			Name: "epochs unknown mode", Method: "GET",
+			Path:       "/v1/epochs?seed=1&n=100&mode=stale",
+			WantStatus: 400,
+			WantBody:   "permd: workload: unknown epoch mode \"stale\" (want fresh or recycled)\n",
+			Exact:      true,
+		},
+		{
+			Name: "epochs past bound", Method: "GET",
+			Path:       fmt.Sprintf("/v1/epochs?seed=1&n=100&epoch=%d", MaxEpoch+1),
+			WantStatus: 400,
+			WantBody:   fmt.Sprintf("permd: epoch=%d outside [0, %d]\n", MaxEpoch+1, MaxEpoch),
+			Exact:      true,
+		},
+
+		// --- workload quota: the second metered identity's budget of
+		// MeteredWLBudget = 4 items, debited exactly as served ---
+		{
+			Name: "quota: assign debits one item", Method: "GET",
+			Path:       "/v1/assign?seed=42&n=1000&id=123&spec=control:9,treat:1",
+			Header:     map[string]string{"X-Permd-Client": MeteredWLClient},
+			WantStatus: 200,
+			WantBody:   assignOracle(t, 42, 1000, 123, "control:9,treat:1"),
+			Exact:      true,
+		},
+		{
+			Name: "quota: epoch chunk debits its length (3)", Method: "GET",
+			Path:       "/v1/epochs?seed=7&n=40&epoch=3&len=3",
+			Header:     map[string]string{"X-Permd-Client": MeteredWLClient},
+			WantStatus: 200,
+			WantBody:   epochOracle(t, 7, 40, 3, workload.EpochFresh, 0, 3),
+			Exact:      true,
+		},
+		{
+			Name: "quota: workload budget exhausted", Method: "GET",
+			Path:       "/v1/assign?seed=42&n=1000&id=124&spec=control:9,treat:1",
+			Header:     map[string]string{"X-Permd-Client": MeteredWLClient},
+			WantStatus: 429,
+			WantBody:   "permd: quota exhausted for client \"metered-wl\": retry after 3600s\n",
+			Exact:      true,
+			WantHeader: map[string]string{"Retry-After": "3600"},
+		},
+		{
+			Name: "quota: workload 400 outranks 429", Method: "GET",
+			Path:       "/v1/assign?seed=42&n=1000&id=124&spec=nope",
+			Header:     map[string]string{"X-Permd-Client": MeteredWLClient},
+			WantStatus: 400,
+			WantBody:   "permd: bad spec: workload: bucket \"nope\": want name:weight\n",
+			Exact:      true,
+		},
 	}
 	return fixtures
+}
+
+// assignOracle renders the /v1/assign golden body — the bucket name
+// the workload library assigns, newline-terminated.
+func assignOracle(t testing.TB, seed uint64, n, id int64, spec string) string {
+	t.Helper()
+	sp, err := workload.ParseAssignSpec(spec)
+	if err != nil {
+		t.Fatalf("conformance oracle: %v", err)
+	}
+	_, name := workload.Assign(sp, seed, n, id)
+	return name + "\n"
+}
+
+// assignIndexOracle renders the Permd-Bucket header value.
+func assignIndexOracle(t testing.TB, seed uint64, n, id int64, spec string) string {
+	t.Helper()
+	sp, err := workload.ParseAssignSpec(spec)
+	if err != nil {
+		t.Fatalf("conformance oracle: %v", err)
+	}
+	idx, _ := workload.Assign(sp, seed, n, id)
+	return strconv.Itoa(idx)
+}
+
+// epochKeyOracle derives the epoch's bijection key the way the server
+// does — the Permd-Epoch-Key header value.
+func epochKeyOracle(seed uint64, epoch int64, mode workload.EpochMode) string {
+	return strconv.FormatUint(workload.NewEpocher(seed, mode).Key(epoch), 10)
+}
+
+// epochOracle renders the /v1/epochs golden body: the epoch key's
+// bijective permutation under the pinned server options.
+func epochOracle(t testing.TB, seed uint64, n, epoch int64, mode workload.EpochMode, start, length int64) string {
+	t.Helper()
+	key := workload.NewEpocher(seed, mode).Key(epoch)
+	return chunkOracle(t, key, n, start, length, randperm.BackendBijective)
 }
 
 // chunkOracle renders the library's own chunk bytes under the pinned

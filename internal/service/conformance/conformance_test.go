@@ -17,6 +17,7 @@ import (
 
 	"randperm/internal/harness/testkit"
 	"randperm/internal/service"
+	"randperm/internal/workload"
 	"randperm/permclient"
 )
 
@@ -196,6 +197,54 @@ func TestConformanceClient(t *testing.T) {
 			t.Fatalf("bijective shuffle: want 400 APIError, got %v", err)
 		}
 	})
+	t.Run("assign", func(t *testing.T) {
+		const spec = "control:9,treat:1"
+		a, err := c.Assign(ctx, 42, 1000, 123, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantName := strings.TrimRight(assignOracle(t, 42, 1000, 123, spec), "\n")
+		wantIdx, _ := strconv.Atoi(assignIndexOracle(t, 42, 1000, 123, spec))
+		if a.Bucket != wantName || a.Index != wantIdx {
+			t.Errorf("Assign = %+v, want {%s %d}", a, wantName, wantIdx)
+		}
+	})
+	t.Run("assign bad spec is a typed permanent 400", func(t *testing.T) {
+		_, err := c.Assign(ctx, 42, 1000, 123, "a:0")
+		var apiErr *permclient.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 || apiErr.Temporary() {
+			t.Fatalf("bad spec: want permanent 400 APIError, got %v", err)
+		}
+	})
+	t.Run("epoch fresh and recycled", func(t *testing.T) {
+		got, err := c.Epoch(ctx, 7, 40, 3, 0, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertInt64s(t, got, epochExpect(t, 7, 40, 3, false))
+		got, err = c.Epoch(ctx, 7, 40, 3, 0, 40, permclient.WithRecycled())
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertInt64s(t, got, epochExpect(t, 7, 40, 3, true))
+	})
+	t.Run("epoch stream pages the whole dataset", func(t *testing.T) {
+		var got []int64
+		for v, err := range c.EpochStream(ctx, 7, 100, 1, 0) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, v)
+		}
+		assertInt64s(t, got, epochExpect(t, 7, 100, 1, false))
+	})
+	t.Run("epoch past bound is a typed permanent 400", func(t *testing.T) {
+		_, err := c.Epoch(ctx, 7, 40, MaxEpoch+1, 0, 1)
+		var apiErr *permclient.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 || apiErr.Temporary() {
+			t.Fatalf("epoch past bound: want permanent 400 APIError, got %v", err)
+		}
+	})
 	t.Run("quota exhaustion is ErrThrottled with Retry-After", func(t *testing.T) {
 		metered := permclient.New(permclient.Config{
 			BaseURL: ts.URL, HTTPClient: ts.Client(), MaxRetries: -1,
@@ -277,6 +326,18 @@ func TestConformanceCancelMidStream(t *testing.T) {
 			t.Error("bytes served before the disconnect are not a prefix of the true stream")
 		}
 	})
+}
+
+// epochExpect is the epoch oracle as parsed values: the full epoch-e
+// permutation of (seed, n) under the chosen derivation mode.
+func epochExpect(t testing.TB, seed uint64, n, epoch int64, recycled bool) []int64 {
+	t.Helper()
+	mode := workload.EpochFresh
+	if recycled {
+		mode = workload.EpochRecycled
+	}
+	key := workload.NewEpocher(seed, mode).Key(epoch)
+	return ChunkExpect(t, key, n, 0, n)
 }
 
 func assertInt64s(t *testing.T, got, want []int64) {

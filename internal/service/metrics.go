@@ -39,6 +39,17 @@ type metrics struct {
 	cacheEvictions   atomic.Int64
 	materializations atomic.Int64
 
+	// Workload counters: assignLookups counts bucket assignments
+	// served by /v1/assign (each is one O(1) bijection evaluation —
+	// compare against cacheMisses/materializations to verify point
+	// lookups never materialize); epochItems/epochNs mirror the chunk
+	// figures for /v1/epochs, and epochRecycled counts the requests
+	// that asked for recycled-sequence key derivation.
+	assignLookups atomic.Int64
+	epochItems    atomic.Int64
+	epochNs       atomic.Int64
+	epochRecycled atomic.Int64
+
 	// Quota counters: throttled counts requests refused with 429,
 	// quotaItems the items actually debited from client buckets (every
 	// admitted chunk page, point read, shuffle item and sample item —
@@ -63,12 +74,14 @@ const (
 	epAt
 	epShuffle
 	epSample
+	epAssign
+	epEpochs
 	epHealthz
 	epMetrics
 	epCount
 )
 
-var epNames = [epCount]string{"chunk", "at", "shuffle", "sample", "healthz", "metrics"}
+var epNames = [epCount]string{"chunk", "at", "shuffle", "sample", "assign", "epochs", "healthz", "metrics"}
 
 // write emits the counters in Prometheus text format, one family per
 // metric, endpoint as a label. Families print in a fixed order so
@@ -96,6 +109,10 @@ func (m *metrics) write(w io.Writer) {
 	counter("permd_handle_cache_misses_total", "Permuter handles constructed on demand.", m.cacheMisses.Load())
 	counter("permd_handle_cache_evictions_total", "Handles dropped by the LRU past capacity.", m.cacheEvictions.Load())
 	counter("permd_materializations_total", "Lazy full-permutation builds actually run.", m.materializations.Load())
+	counter("permd_assign_lookups_total", "Experiment bucket assignments served by /v1/assign.", m.assignLookups.Load())
+	counter("permd_epoch_items_total", "Permutation values served by the epochs endpoint.", m.epochItems.Load())
+	counter("permd_epoch_ns_total", "Wall nanoseconds spent serving epoch chunk requests.", m.epochNs.Load())
+	counter("permd_epoch_recycled_total", "Epoch requests served in recycled-sequence mode.", m.epochRecycled.Load())
 	counter("permd_quota_throttled_total", "Requests refused with 429 by the per-client quota.", m.quotaThrottled.Load())
 	counter("permd_quota_items_charged_total", "Items debited from client quota buckets.", m.quotaItems.Load())
 	counter("permd_admission_builds_total", "Materializing builds admitted through the build gate.", m.admissionBuilds.Load())

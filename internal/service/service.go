@@ -20,6 +20,8 @@
 //	GET  /v1/perm/{seed}/at?n=&i=&backend=               π(i)
 //	POST /v1/shuffle?seed=&backend=                      body lines (or JSON array) shuffled
 //	GET  /v1/sample?n=&k=&seed=                          uniform k-subset of [0, n)
+//	GET  /v1/assign?seed=&n=&id=&spec=                   the id's experiment bucket (workload.go)
+//	GET  /v1/epochs?seed=&n=&epoch=&mode=&start=&len=    a chunk of epoch e's shuffle (workload.go)
 //	GET  /healthz                                        JSON liveness + config echo
 //	GET  /metrics                                        Prometheus text format
 //
@@ -54,6 +56,7 @@ import (
 
 	"randperm"
 	"randperm/internal/cluster"
+	"randperm/internal/workload"
 )
 
 // Config sizes the daemon. The zero value is usable: every field has a
@@ -97,6 +100,11 @@ type Config struct {
 	// BuildWait is how long a request queues for a build slot before
 	// being refused with 503 + Retry-After (default 10s).
 	BuildWait time.Duration
+	// MaxEpoch bounds the epoch number /v1/epochs accepts (default
+	// 1 << 20). Fresh-mode key derivation walks one LongJump per epoch
+	// up to e on first touch, so the bound is what keeps a hostile
+	// ?epoch=huge from buying 2^63 jumps with one request.
+	MaxEpoch int64
 	// DefaultBackend serves /v1/perm/* requests that omit ?backend=.
 	// It is flag-shaped — "sim", "shmem", "inplace", "bijective" or
 	// "cluster", as accepted by randperm.ParseBackend — so the empty
@@ -152,6 +160,9 @@ func (c Config) withDefaults() Config {
 	if c.BuildWait <= 0 {
 		c.BuildWait = 10 * time.Second
 	}
+	if c.MaxEpoch <= 0 {
+		c.MaxEpoch = 1 << 20
+	}
 	if c.DefaultBackend == "" {
 		c.DefaultBackend = "bijective"
 	}
@@ -170,6 +181,10 @@ type Server struct {
 	bufs       sync.Pool     // *[]int64 of length cfg.MaxChunk
 	node       *cluster.Node // non-nil iff cluster mode is on
 	mux        *http.ServeMux
+
+	// Epoch key-derivation memos for /v1/epochs (workload.go).
+	epochersMu sync.Mutex
+	epochers   map[epocherKey]*workload.Epocher
 }
 
 // New builds a Server from cfg (zero value fine; see Config defaults).
@@ -180,7 +195,12 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, defBackend: def, mux: http.NewServeMux()}
+	s := &Server{
+		cfg:        cfg,
+		defBackend: def,
+		mux:        http.NewServeMux(),
+		epochers:   make(map[epocherKey]*workload.Epocher),
+	}
 	s.buildSem = make(chan struct{}, cfg.MaxBuilds)
 	if cfg.Quota.Enabled() {
 		s.quota = newQuotas(cfg.Quota)
@@ -209,6 +229,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/perm/{seed}/at", s.handleAt)
 	s.mux.HandleFunc("POST /v1/shuffle", s.handleShuffle)
 	s.mux.HandleFunc("GET /v1/sample", s.handleSample)
+	s.mux.HandleFunc("GET /v1/assign", s.handleAssign)
+	s.mux.HandleFunc("GET /v1/epochs", s.handleEpochs)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -417,47 +439,8 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		s.met.chunkNs.Add(time.Since(began).Nanoseconds())
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	bufp := s.bufs.Get().(*[]int64)
-	defer s.bufs.Put(bufp)
-	buf := *bufp
-	bw := bufio.NewWriterSize(w, 1<<15)
-	var line []byte
-	served := int64(0)
-	for served < length {
-		if served > 0 && r.Context().Err() != nil {
-			// Client gone mid-stream: stop paging instead of formatting
-			// values nobody will read.
-			s.met.errors.Add(1)
-			return
-		}
-		page := buf
-		if rest := length - served; rest < int64(len(page)) {
-			page = page[:rest]
-		}
-		m, err := pm.Chunk(page, start+served)
-		if err != nil {
-			if served == 0 {
-				// Nothing flushed yet: a real error response is still
-				// possible — a cluster peer failure surfaces here.
-				s.httpError(w, http.StatusInternalServerError, "reading chunk: %v", err)
-				return
-			}
-			// Mid-stream the headers are gone; all we can do is
-			// truncate the stream.
-			s.met.errors.Add(1)
-			return
-		}
-		for _, v := range page[:m] {
-			line = strconv.AppendInt(line[:0], v, 10)
-			line = append(line, '\n')
-			if _, err := bw.Write(line); err != nil {
-				return // client went away
-			}
-		}
-		served += int64(m)
-	}
-	if err := bw.Flush(); err != nil {
+	served, ok := s.streamPaged(w, r, pm, start, length)
+	if !ok {
 		return
 	}
 	s.met.items.Add(served)
@@ -693,7 +676,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"default_backend": s.defBackend.String(),
 		"backends":        []string{"sim", "shmem", "inplace", "bijective", "cluster"},
 		"max_builds":      s.cfg.MaxBuilds,
+		"max_epoch":       s.cfg.MaxEpoch,
 		"quota":           s.quota != nil,
+		"workloads":       []string{"assign", "epochs"},
 	}
 	if s.node != nil {
 		body["cluster"] = map[string]any{

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"randperm/internal/xrand"
+)
+
+// Epoch shuffling: epoch e of dataset (seed, n) is the bijective
+// permutation of [0, n) under a per-epoch key derived here. Two
+// derivations are offered, selected by EpochMode:
+//
+//   - EpochFresh draws epoch e's key from the e-th LongJump-separated
+//     stream of the dataset seed (the xrand.NewLongStreams family):
+//     consecutive epochs sit 2^192 draws apart in the xoshiro sequence,
+//     the same machinery that separates per-worker scratch streams from
+//     per-block algorithm streams, so epochs are as stream-independent
+//     as the engine's own parallel phases.
+//
+//   - EpochRecycled derives epoch e+1's key from epoch e's stream
+//     state: one xoshiro stream seeded by the dataset seed is drawn
+//     sequentially, one key per epoch. This is the recycled-sequence
+//     idea of Ito & Kikuchi (hep-lat/9302002): instead of paying a
+//     fresh stream separation per epoch, the randomness of one stream
+//     is amortized across the whole epoch schedule — epoch e is
+//     reachable only through the states of epochs 0..e-1.
+//
+// Either way the key for (seed, e, mode) is a pure function of those
+// three values — independent of derivation order, process and worker
+// count — so epoch bytes are replayable forever from the dataset seed.
+
+// EpochMode selects how per-epoch keys are derived from a dataset seed.
+type EpochMode int
+
+const (
+	// EpochFresh separates epochs by 2^192-step LongJumps (default).
+	EpochFresh EpochMode = iota
+	// EpochRecycled evolves one stream sequentially, deriving each
+	// epoch's key from the previous epoch's stream state.
+	EpochRecycled
+)
+
+// ParseEpochMode parses the wire/flag spelling: "" and "fresh" mean
+// EpochFresh, "recycled" means EpochRecycled.
+func ParseEpochMode(s string) (EpochMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "fresh":
+		return EpochFresh, nil
+	case "recycled":
+		return EpochRecycled, nil
+	}
+	return 0, fmt.Errorf("workload: unknown epoch mode %q (want fresh or recycled)", s)
+}
+
+// String renders the mode in the spelling ParseEpochMode accepts.
+func (m EpochMode) String() string {
+	if m == EpochRecycled {
+		return "recycled"
+	}
+	return "fresh"
+}
+
+// An Epocher derives the per-epoch keys of one (seed, mode) pair,
+// memoizing progressively: both modes advance one generator state
+// epoch by epoch, so random access to epoch e costs the derivation of
+// every epoch up to e once, and O(1) after. Safe for concurrent use.
+type Epocher struct {
+	seed uint64
+	mode EpochMode
+
+	mu     sync.Mutex
+	stream *xrand.Xoshiro256 // positioned to derive epoch len(keys)
+	keys   []uint64
+}
+
+// NewEpocher returns the key deriver for dataset seed under mode.
+func NewEpocher(seed uint64, mode EpochMode) *Epocher {
+	return &Epocher{seed: seed, mode: mode, stream: xrand.NewXoshiro256(seed)}
+}
+
+// Seed returns the dataset seed the epocher derives from.
+func (e *Epocher) Seed() uint64 { return e.seed }
+
+// Mode returns the derivation mode.
+func (e *Epocher) Mode() EpochMode { return e.mode }
+
+// Key returns the bijection key of epoch (>= 0). Fresh mode matches
+// xrand.NewLongStreams(seed, epoch+1)[epoch].Uint64() exactly (pinned
+// by TestEpochFreshMatchesLongStreams); recycled mode is the epoch-th
+// sequential draw of the seed's stream.
+func (e *Epocher) Key(epoch int64) uint64 {
+	if epoch < 0 {
+		panic(fmt.Sprintf("workload: Key of negative epoch %d", epoch))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for int64(len(e.keys)) <= epoch {
+		var k uint64
+		if e.mode == EpochRecycled {
+			// The draw itself advances the stream: epoch e+1's key is
+			// derived from the state epoch e left behind.
+			k = e.stream.Uint64()
+		} else {
+			// LongJump first, then read the stream's first draw without
+			// consuming it — exactly the NewLongStreams layout, where
+			// stream i is the base long-jumped i+1 times.
+			e.stream.LongJump()
+			k = e.stream.Clone().Uint64()
+		}
+		e.keys = append(e.keys, k)
+	}
+	return e.keys[epoch]
+}

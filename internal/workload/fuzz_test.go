@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseAssignSpec fuzzes the name:weight grammar — the one
+// workload input that arrives from the network unvalidated. The
+// properties: parsing never panics; an accepted spec always partitions
+// [0, n) exactly (sizes sum to n, ranges tile with no gaps or
+// overlaps, every size within one id of its exact share) for a spread
+// of domain sizes including 2^40; and String() round-trips to an
+// equivalent spec.
+//
+// CI runs this for a short smoke (-fuzztime 10s); longer campaigns:
+//
+//	go test -run '^$' -fuzz FuzzParseAssignSpec -fuzztime 10m ./internal/workload
+func FuzzParseAssignSpec(f *testing.F) {
+	for _, seed := range []string{
+		"control:9,treat:1",
+		"a:1",
+		"a:1,b:2,c:3",
+		"x:18446744073709551615",
+		"",
+		":",
+		"a:0",
+		"a:1,a:1",
+		"name.with-every_rune9:42",
+		strings.Repeat("a:1,", 100) + "z:1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseAssignSpec(s) // must never panic
+		if err != nil {
+			return
+		}
+		// Accepted specs are usable: exact partition at several n,
+		// including the huge-domain acceptance point.
+		for _, n := range []int64{0, 1, 7, 1000, 1 << 40} {
+			assertExactPartition(t, spec, n)
+		}
+		// String round-trips to an equivalent spec.
+		back, err := ParseAssignSpec(spec.String())
+		if err != nil {
+			t.Fatalf("String() %q of accepted spec %q does not re-parse: %v", spec.String(), s, err)
+		}
+		if back.String() != spec.String() || back.TotalWeight() != spec.TotalWeight() || back.Len() != spec.Len() {
+			t.Fatalf("round trip drifted: %q -> %q", spec.String(), back.String())
+		}
+	})
+}

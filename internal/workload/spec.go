@@ -1,0 +1,222 @@
+// Package workload turns the permutation machinery into two
+// first-class million-user scenarios:
+//
+//   - Experiment assignment: a weight spec ("control:9,treat:1")
+//     partitions the index domain [0, n) into contiguous bucket ranges
+//     whose sizes are exact by integer arithmetic — every bucket gets
+//     within one id of weight·n/total, and the sizes sum to n exactly.
+//     A user id is assigned by sending it through the keyed bijection
+//     (engine.Bijection.Index, O(1)) and reading off which range its
+//     image lands in. Because the bijection maps [0, n) onto itself,
+//     each bucket receives exactly as many ids as its range holds —
+//     proportions hold by construction, not in expectation, which is
+//     the guarantee hash-mod assignment cannot give.
+//
+//   - Epoch shuffling: the Mitchell et al. (arXiv:2106.06161)
+//     motivating workload. Epoch e of dataset (seed, n) is the
+//     bijective permutation under a per-epoch key derived from the
+//     dataset seed: fresh mode separates epochs by the xoshiro
+//     LongJump (2^192 steps — the NewLongStreams family), recycled
+//     mode (Ito & Kikuchi, hep-lat/9302002) evolves one stream
+//     sequentially so each epoch's key is derived from the previous
+//     epoch's stream state, amortizing randomness across epochs.
+//
+// Both are pure functions of their inputs: bucket = f(seed, spec, id)
+// and epoch bytes = f(seed, n, e, mode) — the determinism contracts
+// ARCHITECTURE.md states for the /v1/assign and /v1/epochs endpoints.
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+
+	"randperm/internal/engine"
+)
+
+// MaxBuckets bounds how many buckets one spec may declare. 1024 keeps
+// every per-request spec computation (parse, ranges, binary search)
+// trivially cheap while covering any realistic experiment design.
+const MaxBuckets = 1024
+
+// Bucket is one named arm of an experiment with its integer weight.
+type Bucket struct {
+	Name   string
+	Weight uint64
+}
+
+// Spec is a validated experiment bucketing: an ordered list of named,
+// positively-weighted buckets. Order is significant — it fixes which
+// contiguous range of [0, n) each bucket owns and how rounding leftovers
+// are distributed — so two spellings of the same weights are different
+// specs. A Spec is immutable after ParseAssignSpec; safe for concurrent
+// use.
+type Spec struct {
+	buckets []Bucket
+	total   uint64
+}
+
+// ParseAssignSpec parses the "name:weight,name:weight,..." grammar:
+// names are non-empty, unique, and drawn from [A-Za-z0-9_.-]; weights
+// are positive decimal uint64s; 1..MaxBuckets buckets; the total weight
+// must fit in a uint64. The grammar is fuzzed (FuzzParseAssignSpec):
+// accepted specs always partition [0, n) exactly and round-trip through
+// String.
+func ParseAssignSpec(s string) (*Spec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("workload: empty assignment spec: want name:weight,...")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > MaxBuckets {
+		return nil, fmt.Errorf("workload: %d buckets exceeds the limit %d", len(parts), MaxBuckets)
+	}
+	spec := &Spec{buckets: make([]Bucket, 0, len(parts))}
+	seen := make(map[string]bool, len(parts))
+	for _, part := range parts {
+		name, weightStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("workload: bucket %q: want name:weight", part)
+		}
+		if name == "" {
+			return nil, fmt.Errorf("workload: bucket %q: empty name", part)
+		}
+		for _, r := range name {
+			if !isNameRune(r) {
+				return nil, fmt.Errorf("workload: bucket name %q: want [A-Za-z0-9_.-]", name)
+			}
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("workload: duplicate bucket %q", name)
+		}
+		seen[name] = true
+		w, err := strconv.ParseUint(weightStr, 10, 64)
+		if err != nil || w == 0 {
+			return nil, fmt.Errorf("workload: bucket %q: weight %q: want a positive decimal integer", name, weightStr)
+		}
+		total, carry := bits.Add64(spec.total, w, 0)
+		if carry != 0 {
+			return nil, fmt.Errorf("workload: total weight overflows uint64")
+		}
+		spec.total = total
+		spec.buckets = append(spec.buckets, Bucket{Name: name, Weight: w})
+	}
+	return spec, nil
+}
+
+func isNameRune(r rune) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+		r >= '0' && r <= '9' || r == '_' || r == '.' || r == '-'
+}
+
+// String renders the spec back in the grammar ParseAssignSpec accepts;
+// ParseAssignSpec(s.String()) reproduces s exactly.
+func (s *Spec) String() string {
+	var b strings.Builder
+	for i, bk := range s.buckets {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(bk.Name)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(bk.Weight, 10))
+	}
+	return b.String()
+}
+
+// Buckets returns the ordered bucket list (a copy; the Spec stays
+// immutable).
+func (s *Spec) Buckets() []Bucket { return append([]Bucket(nil), s.buckets...) }
+
+// Len returns the number of buckets.
+func (s *Spec) Len() int { return len(s.buckets) }
+
+// TotalWeight returns the sum of all bucket weights.
+func (s *Spec) TotalWeight() uint64 { return s.total }
+
+// Sizes apportions a domain of n ids over the buckets exactly: the
+// largest-remainder (Hamilton) method on the exact 128-bit products
+// weight·n, so size[i] is floor or ceil of weight[i]·n/total, the
+// error |size[i] - weight[i]·n/total| is strictly below one id for
+// every bucket at any n up to 2^62, and the sizes sum to n exactly.
+// Ties in the remainders break toward the earlier bucket, which keeps
+// the apportionment a pure function of (spec, n).
+func (s *Spec) Sizes(n int64) []int64 {
+	if n < 0 {
+		panic(fmt.Sprintf("workload: Sizes with negative domain %d", n))
+	}
+	sizes := make([]int64, len(s.buckets))
+	rems := make([]uint64, len(s.buckets))
+	assigned := int64(0)
+	for i, bk := range s.buckets {
+		// floor(w*n/total) and its remainder, exactly: the 128-bit
+		// product w*n divided by total. The quotient is <= n < 2^63, so
+		// hi < total always holds and Div64 cannot panic.
+		hi, lo := bits.Mul64(bk.Weight, uint64(n))
+		q, r := bits.Div64(hi, lo, s.total)
+		sizes[i] = int64(q)
+		rems[i] = r
+		assigned += int64(q)
+	}
+	// The floors under-assign by exactly (sum of remainders)/total ids,
+	// which is < len(buckets); hand the leftovers to the largest
+	// remainders, earlier bucket first on ties.
+	order := make([]int, len(s.buckets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rems[order[a]] > rems[order[b]] })
+	for k := int64(0); k < n-assigned; k++ {
+		sizes[order[k]]++
+	}
+	return sizes
+}
+
+// Range is one bucket's contiguous slice [Start, End) of the domain.
+type Range struct {
+	Start, End int64
+}
+
+// Ranges lays the exact Sizes out contiguously over [0, n): bucket i
+// owns [boundary[i], boundary[i+1]). The ranges partition [0, n) with
+// no gaps or overlaps — Ranges[0].Start == 0, each End equals the next
+// Start, and the last End equals n.
+func (s *Spec) Ranges(n int64) []Range {
+	sizes := s.Sizes(n)
+	ranges := make([]Range, len(sizes))
+	pos := int64(0)
+	for i, sz := range sizes {
+		ranges[i] = Range{Start: pos, End: pos + sz}
+		pos += sz
+	}
+	return ranges
+}
+
+// Find returns the index and name of the bucket whose range contains
+// position pos of the domain [0, n). pos must be in [0, n) and n must
+// be positive. O(len(buckets)) to lay out the boundaries plus a binary
+// search — independent of n, which is what keeps /v1/assign point
+// lookups O(1) in the domain size.
+func (s *Spec) Find(n, pos int64) (int, string) {
+	if pos < 0 || pos >= n {
+		panic(fmt.Sprintf("workload: Find position %d outside [0, %d)", pos, n))
+	}
+	ranges := s.Ranges(n)
+	i := sort.Search(len(ranges), func(i int) bool { return ranges[i].End > pos })
+	return i, s.buckets[i].Name
+}
+
+// Assign maps user id to its bucket under experiment seed: the id's
+// image under the keyed bijection on [0, n), located in the spec's
+// exact ranges. It is the oracle form used by permcli and the test
+// suites; the service reaches the same bijection through its handle
+// cache instead. id must be in [0, n). The assignment is a pure
+// function of (seed, spec, id, n): independent of process, worker
+// count, and call order.
+func Assign(spec *Spec, seed uint64, n, id int64) (int, string) {
+	if id < 0 || id >= n {
+		panic(fmt.Sprintf("workload: Assign id %d outside [0, %d)", id, n))
+	}
+	return spec.Find(n, engine.NewBijection(n, seed).Index(id))
+}

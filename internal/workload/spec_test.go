@@ -1,0 +1,273 @@
+package workload
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+
+	"randperm/internal/xrand"
+)
+
+func mustParse(t testing.TB, s string) *Spec {
+	t.Helper()
+	spec, err := ParseAssignSpec(s)
+	if err != nil {
+		t.Fatalf("ParseAssignSpec(%q): %v", s, err)
+	}
+	return spec
+}
+
+func TestParseAssignSpec(t *testing.T) {
+	spec := mustParse(t, "control:9,treat:1")
+	if spec.Len() != 2 || spec.TotalWeight() != 10 {
+		t.Fatalf("spec = %v (total %d), want 2 buckets totalling 10", spec.Buckets(), spec.TotalWeight())
+	}
+	bks := spec.Buckets()
+	if bks[0] != (Bucket{"control", 9}) || bks[1] != (Bucket{"treat", 1}) {
+		t.Errorf("buckets = %v", bks)
+	}
+	if got := spec.String(); got != "control:9,treat:1" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestParseAssignSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                           // empty
+		"  ",                         // whitespace only
+		"control",                    // no weight
+		"control:",                   // empty weight
+		":1",                         // empty name
+		"a:0",                        // zero weight
+		"a:-1",                       // negative weight
+		"a:1.5",                      // fractional weight
+		"a:1,a:2",                    // duplicate name
+		"a b:1",                      // bad name rune
+		"a:1,,b:1",                   // empty bucket
+		"a:99999999999999999999",     // weight overflow
+		"a:18446744073709551615,b:1", // total overflow
+	} {
+		if _, err := ParseAssignSpec(bad); err == nil {
+			t.Errorf("ParseAssignSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestParseAssignSpecRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"a:1",
+		"control:9,treat:1",
+		"a:1,b:2,c:3,d.e-f_g:18446744073709551608",
+	} {
+		spec := mustParse(t, s)
+		back := mustParse(t, spec.String())
+		if back.String() != spec.String() || back.TotalWeight() != spec.TotalWeight() {
+			t.Errorf("round trip of %q: %q", s, back.String())
+		}
+	}
+}
+
+// TestSizesExact: the apportionment invariants on a sweep of specs and
+// domain sizes — sizes sum to n, every size is within one id of the
+// exact rational share (checked in exact 128-bit arithmetic), and the
+// ranges tile [0, n) with no gaps or overlaps.
+func TestSizesExact(t *testing.T) {
+	specs := []string{
+		"a:1",
+		"a:1,b:1",
+		"control:9,treat:1",
+		"a:1,b:2,c:3,d:4,e:5,f:6,g:7",
+		"big:1000000007,small:3",
+		"x:18446744073709551614,y:1",
+	}
+	ns := []int64{0, 1, 2, 3, 10, 97, 1000, 1 << 20, 1<<40 + 12345}
+	for _, ss := range specs {
+		spec := mustParse(t, ss)
+		for _, n := range ns {
+			assertExactPartition(t, spec, n)
+		}
+	}
+}
+
+// assertExactPartition checks the exact-proportion property by range
+// arithmetic (no enumeration): sum == n, |size*W - w*n| < W for every
+// bucket, contiguous tiling.
+func assertExactPartition(t testing.TB, spec *Spec, n int64) {
+	t.Helper()
+	sizes := spec.Sizes(n)
+	W := spec.TotalWeight()
+	var sum int64
+	for i, sz := range sizes {
+		if sz < 0 {
+			t.Fatalf("spec %q n=%d: negative size %d", spec, n, sz)
+		}
+		sum += sz
+		// |size*W - w*n| < W, compared exactly in 128 bits.
+		shi, slo := bits.Mul64(uint64(sz), W)
+		whi, wlo := bits.Mul64(spec.buckets[i].Weight, uint64(n))
+		var dhi, dlo uint64
+		if shi > whi || (shi == whi && slo >= wlo) {
+			dlo, dhi = sub128(shi, slo, whi, wlo)
+		} else {
+			dlo, dhi = sub128(whi, wlo, shi, slo)
+		}
+		if dhi != 0 || dlo >= W {
+			t.Fatalf("spec %q n=%d bucket %d: size %d off by >= 1 id (|diff| = %d:%d, W = %d)",
+				spec, n, i, sz, dhi, dlo, W)
+		}
+	}
+	if sum != n {
+		t.Fatalf("spec %q n=%d: sizes sum to %d", spec, n, sum)
+	}
+	ranges := spec.Ranges(n)
+	pos := int64(0)
+	for i, r := range ranges {
+		if r.Start != pos || r.End < r.Start {
+			t.Fatalf("spec %q n=%d: range %d = %+v, want start %d", spec, n, i, r, pos)
+		}
+		pos = r.End
+	}
+	if pos != n {
+		t.Fatalf("spec %q n=%d: ranges end at %d", spec, n, pos)
+	}
+}
+
+// sub128 returns (lo, hi) of (ahi:alo) - (bhi:blo); caller guarantees
+// the minuend is the larger.
+func sub128(ahi, alo, bhi, blo uint64) (lo, hi uint64) {
+	lo, borrow := bits.Sub64(alo, blo, 0)
+	hi, _ = bits.Sub64(ahi, bhi, borrow)
+	return lo, hi
+}
+
+func TestFindMatchesLinearScan(t *testing.T) {
+	spec := mustParse(t, "a:3,b:1,c:2,d:4")
+	const n = 257
+	ranges := spec.Ranges(n)
+	for pos := int64(0); pos < n; pos++ {
+		want := -1
+		for i, r := range ranges {
+			if pos >= r.Start && pos < r.End {
+				want = i
+			}
+		}
+		idx, name := spec.Find(n, pos)
+		if idx != want || name != spec.buckets[want].Name {
+			t.Fatalf("Find(%d, %d) = (%d, %q), want bucket %d", n, pos, idx, name, want)
+		}
+	}
+}
+
+func TestFindPanicsOutOfRange(t *testing.T) {
+	spec := mustParse(t, "a:1")
+	for _, pos := range []int64{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Find(10, %d) did not panic", pos)
+				}
+			}()
+			spec.Find(10, pos)
+		}()
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	spec := mustParse(t, "control:9,treat:1")
+	const n, seed = 1000, 42
+	for id := int64(0); id < n; id += 97 {
+		i1, n1 := Assign(spec, seed, n, id)
+		i2, n2 := Assign(spec, seed, n, id)
+		if i1 != i2 || n1 != n2 {
+			t.Fatalf("Assign(%d) unstable: (%d,%q) vs (%d,%q)", id, i1, n1, i2, n2)
+		}
+	}
+}
+
+func TestEpochModeParse(t *testing.T) {
+	for s, want := range map[string]EpochMode{
+		"": EpochFresh, "fresh": EpochFresh, "FRESH": EpochFresh,
+		"recycled": EpochRecycled, " Recycled ": EpochRecycled,
+	} {
+		got, err := ParseEpochMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseEpochMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseEpochMode("stale"); err == nil {
+		t.Error("ParseEpochMode accepted garbage")
+	}
+	if EpochFresh.String() != "fresh" || EpochRecycled.String() != "recycled" {
+		t.Error("EpochMode.String drifted from the wire spelling")
+	}
+}
+
+// TestEpochFreshMatchesLongStreams pins fresh-mode derivation to the
+// NewLongStreams family: epoch e's key is the first draw of long
+// stream e — the same 2^192-step separation the engine's per-worker
+// streams rely on.
+func TestEpochFreshMatchesLongStreams(t *testing.T) {
+	const seed, epochs = 7, 20
+	streams := xrand.NewLongStreams(seed, epochs)
+	e := NewEpocher(seed, EpochFresh)
+	// Random-access order must not matter.
+	for _, ep := range []int64{3, 0, 19, 7, 3, 12} {
+		if got, want := e.Key(ep), streams[ep].Clone().Uint64(); got != want {
+			t.Fatalf("fresh Key(%d) = %#x, want long-stream draw %#x", ep, got, want)
+		}
+	}
+}
+
+// TestEpochRecycledIsSequentialDraws pins recycled-mode derivation:
+// key e is the e-th draw of the dataset seed's own stream, so epoch
+// e+1's key comes from exactly the stream state epoch e left behind.
+func TestEpochRecycledIsSequentialDraws(t *testing.T) {
+	const seed = 99
+	s := xrand.NewXoshiro256(seed)
+	e := NewEpocher(seed, EpochRecycled)
+	for ep := int64(0); ep < 50; ep++ {
+		if got, want := e.Key(ep), s.Uint64(); got != want {
+			t.Fatalf("recycled Key(%d) = %#x, want sequential draw %#x", ep, got, want)
+		}
+	}
+}
+
+func TestEpochKeyDeterministicAndModesDiffer(t *testing.T) {
+	a := NewEpocher(5, EpochFresh)
+	b := NewEpocher(5, EpochFresh)
+	r := NewEpocher(5, EpochRecycled)
+	for ep := int64(0); ep < 10; ep++ {
+		if a.Key(ep) != b.Key(ep) {
+			t.Fatalf("fresh Key(%d) differs across epochers", ep)
+		}
+	}
+	same := 0
+	for ep := int64(0); ep < 10; ep++ {
+		if a.Key(ep) == r.Key(ep) {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Error("fresh and recycled derivations coincide — modes are not separated")
+	}
+}
+
+func TestEpochKeyNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Key(-1) did not panic")
+		}
+	}()
+	NewEpocher(1, EpochFresh).Key(-1)
+}
+
+func TestSpecStringIsParseable(t *testing.T) {
+	// A spec whose names exercise the full rune set must survive the trip.
+	s := "A-b_c.9:123,z:1"
+	if got := mustParse(t, s).String(); got != s {
+		t.Errorf("String() = %q, want %q", got, s)
+	}
+	if !strings.Contains(mustParse(t, s).String(), "A-b_c.9") {
+		t.Error("name mangled")
+	}
+}

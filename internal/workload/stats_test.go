@@ -1,0 +1,214 @@
+// The statistical acceptance suite for the workload layer: the
+// guarantees /v1/assign and /v1/epochs advertise, enforced by test.
+//
+//   - Exact proportions: every bucket receives exactly its apportioned
+//     number of ids — counted by full enumeration at small n, and by
+//     range arithmetic (no enumeration) at n = 2^40.
+//   - Assignment uniformity: across experiment seeds, a fixed id's
+//     landing position is chi-square uniform on [0, n), which implies
+//     both the bucket frequencies (weights over seeds) and uniformity
+//     within each bucket's range.
+//   - Cross-epoch independence: the ordered pairs (π_e(i), π_{e+1}(i))
+//     of consecutive epochs spread chi-square uniformly, in both
+//     fresh-key and recycled modes.
+package workload
+
+import (
+	"testing"
+
+	"randperm/internal/engine"
+	"randperm/internal/stats"
+)
+
+// TestAssignExactProportionsByCount enumerates every id of the domain
+// and counts bucket hits: the count per bucket must equal the
+// apportioned size exactly — not approximately, not with high
+// probability — because the bijection maps [0, n) onto itself and the
+// ranges tile it. Count, don't sample.
+func TestAssignExactProportionsByCount(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		n    int64
+	}{
+		{"control:9,treat:1", 1000},
+		{"a:5,b:3,c:2", 997}, // prime n: rounding leftovers in play
+		{"x:1,y:1,z:1", 100}, // 100/3 does not divide evenly
+		{"solo:7", 64},
+	} {
+		spec := mustParse(t, tc.spec)
+		sizes := spec.Sizes(tc.n)
+		for _, seed := range []uint64{1, 42, 0xDEADBEEF} {
+			counts := make([]int64, spec.Len())
+			bij := engine.NewBijection(tc.n, seed)
+			for id := int64(0); id < tc.n; id++ {
+				idx, _ := spec.Find(tc.n, bij.Index(id))
+				counts[idx]++
+			}
+			for i, want := range sizes {
+				if counts[i] != want {
+					t.Errorf("spec %q n=%d seed=%d: bucket %d got %d ids, want exactly %d",
+						tc.spec, tc.n, seed, i, counts[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestAssignExactProportionsHugeN holds the same property at n = 2^40
+// (and awkward neighbors) purely by range arithmetic — the acceptance
+// criterion that no bucket is off by even one id at scales where
+// enumeration is impossible.
+func TestAssignExactProportionsHugeN(t *testing.T) {
+	for _, ss := range []string{
+		"control:9,treat:1",
+		"a:1,b:1,c:1",
+		"big:999999937,small:1",          // huge prime weight
+		"w1:3,w2:5,w3:7,w4:11,w5:13",     // coprime weights
+		"x:18446744073709551614,y:1",     // near-overflow total
+		"a:1,b:2,c:4,d:8,e:16,f:32,g:64", // powers of two
+	} {
+		spec := mustParse(t, ss)
+		for _, n := range []int64{1 << 40, 1<<40 + 1, 1<<40 - 1, 1<<40 + 999999937} {
+			assertExactPartition(t, spec, n)
+		}
+	}
+}
+
+// TestAssignUniformAcrossSeeds: for a fixed user id, the landing
+// position across experiment seeds must be chi-square uniform on
+// [0, n). Uniformity of the position implies the two consequences the
+// endpoint advertises — bucket frequencies match the weights across
+// experiments, and assignment is uniform within each bucket's range.
+func TestAssignUniformAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		n      = 64
+		trials = 12800
+	)
+	for _, id := range []int64{0, 17, n - 1} {
+		counts := make([]int64, n)
+		for s := 0; s < trials; s++ {
+			seed := 0xA11CE + uint64(s)*0x9E3779B97F4A7C15
+			counts[engine.NewBijection(n, seed).Index(id)]++
+		}
+		res, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(1e-4) {
+			t.Errorf("id %d: position over seeds not uniform: %v", id, res)
+		}
+	}
+}
+
+// TestAssignBucketFrequencies is the bucket-level view of the same
+// law: across seeds, a fixed id lands in bucket b with probability
+// size_b/n. Checked directly against the apportioned sizes with a
+// weighted chi-square.
+func TestAssignBucketFrequencies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		n      = 1000
+		trials = 8000
+		id     = 123
+	)
+	spec := mustParse(t, "control:9,treat:1")
+	sizes := spec.Sizes(n)
+	probs := make([]float64, len(sizes))
+	for i, sz := range sizes {
+		probs[i] = float64(sz) / float64(n)
+	}
+	counts := make([]int64, spec.Len())
+	for s := 0; s < trials; s++ {
+		seed := 0xBEEF + uint64(s)*0x9E3779B97F4A7C15
+		idx, _ := Assign(spec, seed, n, id)
+		counts[idx]++
+	}
+	res, err := stats.ChiSquare(counts, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(1e-4) {
+		t.Errorf("bucket frequencies drift from weights: %v (counts %v, sizes %v)", res, counts, sizes)
+	}
+}
+
+// epochPerm evaluates the full epoch-e permutation of (seed, n, mode).
+func epochPerm(e *Epocher, n, epoch int64) []int64 {
+	bij := engine.NewBijection(n, e.Key(epoch))
+	out := make([]int64, n)
+	bij.Chunk(out, 0)
+	return out
+}
+
+// TestEpochCrossIndependence: the joint law of a fixed index's
+// positions in consecutive epochs. Over dataset seeds, the ordered
+// pair (π_e(i), π_{e+1}(i)) must spread uniformly over all n² cells —
+// any coupling between an epoch's key and the next (the risk recycled
+// derivation takes deliberately) would concentrate the diagonal or
+// some coset. Both modes face the same chi-square.
+func TestEpochCrossIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		n     = 8
+		seeds = 1500
+		pairs = 3 // epoch pairs (e, e+1) for e in 0..pairs-1
+	)
+	for _, mode := range []EpochMode{EpochFresh, EpochRecycled} {
+		counts := make([]int64, n*n)
+		for s := 0; s < seeds; s++ {
+			seed := 0xEC0DE + uint64(s)*0x9E3779B97F4A7C15
+			e := NewEpocher(seed, mode)
+			for ep := int64(0); ep < pairs; ep++ {
+				a := epochPerm(e, n, ep)
+				b := epochPerm(e, n, ep+1)
+				for i := int64(0); i < n; i++ {
+					counts[a[i]*n+b[i]]++
+				}
+			}
+		}
+		res, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(1e-4) {
+			t.Errorf("mode %v: consecutive-epoch pairs not uniform: %v", mode, res)
+		}
+	}
+}
+
+// TestEpochMarginalUniformity: within one mode, each epoch's
+// permutation is itself a uniform-marginal family over dataset seeds —
+// deriving the key through LongJumps or sequential draws must not
+// bias the bijection it feeds.
+func TestEpochMarginalUniformity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		n      = 32
+		trials = 6400
+		epoch  = 2
+	)
+	for _, mode := range []EpochMode{EpochFresh, EpochRecycled} {
+		counts := make([]int64, n)
+		for s := 0; s < trials; s++ {
+			seed := 0xFACE + uint64(s)*0x9E3779B97F4A7C15
+			key := NewEpocher(seed, mode).Key(epoch)
+			counts[engine.NewBijection(n, key).Index(0)]++
+		}
+		res, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(1e-4) {
+			t.Errorf("mode %v: epoch %d marginal not uniform: %v", mode, epoch, res)
+		}
+	}
+}

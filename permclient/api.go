@@ -16,7 +16,8 @@ import (
 type Opt func(*callOpts)
 
 type callOpts struct {
-	backend string
+	backend   string
+	epochMode string // "" (fresh) or "recycled"; see WithRecycled
 }
 
 // WithBackend pins the serving backend for this call ("sim", "shmem",
