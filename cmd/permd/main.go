@@ -30,8 +30,14 @@
 //	curl 'localhost:8080/v1/sample?n=1000000&k=5&seed=7'
 //	curl 'localhost:8080/v1/assign?seed=7&n=1000000&id=12345&spec=control:9,treat:1'
 //	curl 'localhost:8080/v1/epochs?seed=7&n=50000&epoch=3&len=5'
+//	curl -N 'localhost:8080/v1/events?types=materialization,slow_request'
 //	curl localhost:8080/healthz
 //	curl localhost:8080/metrics
+//
+// GET /v1/events streams the daemon's live event feed (Server-Sent
+// Events; see OPERATIONS.md, "Live observation") — the same stream the
+// permtop tool renders. Delivery is best-effort by design: a slow
+// subscriber loses events rather than slowing a single byte served.
 package main
 
 import (
@@ -72,6 +78,11 @@ func main() {
 		maxBuilds      = flag.Int("max-builds", 4, "materializing handle builds allowed to run concurrently")
 		buildWait      = flag.Duration("build-wait", 10*time.Second, "how long a request queues for a build slot before 503 + Retry-After")
 		maxEpoch       = flag.Int64("max-epoch", 1<<20, "largest epoch number /v1/epochs serves")
+
+		slowThreshold = flag.Duration("slow-threshold", time.Second, "requests at least this slow publish a slow_request event on /v1/events")
+		eventBuffer   = flag.Int("event-buffer", 256, "per-subscriber event channel capacity before events are dropped")
+		eventReplay   = flag.Int("event-replay", 1024, "events kept for Last-Event-ID / ?from= replay on /v1/events")
+		maxEventSubs  = flag.Int("max-event-subscribers", 64, "concurrent /v1/events subscribers before 503")
 	)
 	flag.Parse()
 
@@ -105,9 +116,15 @@ func main() {
 			Overrides:  overrides,
 			MaxClients: *quotaClients,
 		},
-		MaxBuilds:       *maxBuilds,
-		BuildWait:       *buildWait,
-		MaxEpoch:        *maxEpoch,
+		MaxBuilds: *maxBuilds,
+		BuildWait: *buildWait,
+		MaxEpoch:  *maxEpoch,
+		Events: service.EventsConfig{
+			Buffer:         *eventBuffer,
+			Replay:         *eventReplay,
+			MaxSubscribers: *maxEventSubs,
+			SlowThreshold:  *slowThreshold,
+		},
 		DefaultBackend:  *backend,
 		ClusterPeers:    peerList,
 		ClusterNode:     *node,

@@ -1,0 +1,160 @@
+// Command permtop watches a permd fleet live, top-style, over the
+// GET /v1/events stream (see OPERATIONS.md, "Live observation").
+//
+// It subscribes to every node named in -nodes, folds the typed events
+// into per-node throughput stats (req/s, ns/item, cache hit rate — all
+// carried by "request" events), cluster posture (peer health
+// transitions, round timings) and a scrolling timeline, and redraws
+// every -interval. Everything shown is derived from the event stream
+// alone; permtop never reads /metrics.
+//
+//	permtop -nodes http://10.0.0.1:8080,http://10.0.0.2:8080
+//	permtop -types cluster_round,peer_health_change   # cluster posture only
+//	permtop -once -interval 5s                        # one snapshot, then exit
+//	permtop -replay captured.jsonl                    # re-render a captured stream
+//
+// -replay renders a snapshot from a JSONL capture (one event per line,
+// each optionally tagged with "node") instead of connecting — the same
+// path the golden tests pin, so the rendering is a contract.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"time"
+
+	"randperm/permclient"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main behind testable plumbing.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("permtop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		nodes    = fs.String("nodes", "http://localhost:8080", "comma-separated permd base URLs to watch")
+		types    = fs.String("types", "", "comma-separated event types to subscribe to (empty = all)")
+		once     = fs.Bool("once", false, "collect for one -interval, print a single snapshot, exit")
+		replay   = fs.String("replay", "", "render a snapshot from a JSONL event capture (- for stdin) instead of connecting")
+		interval = fs.Duration("interval", 2*time.Second, "refresh (and -once collection) period")
+		rows     = fs.Int("timeline", 12, "timeline rows kept on screen")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	m := newModel(*rows)
+	if *replay != "" {
+		if err := replayFile(m, *replay, stdin); err != nil {
+			fmt.Fprintln(stderr, "permtop:", err)
+			return 1
+		}
+		m.Render(stdout)
+		return 0
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var typeList []string
+	if *types != "" {
+		typeList = strings.Split(*types, ",")
+	}
+	var wg sync.WaitGroup
+	for _, node := range strings.Split(*nodes, ",") {
+		node = strings.TrimSpace(node)
+		if node == "" {
+			continue
+		}
+		m.Register(node)
+		c := permclient.New(permclient.Config{BaseURL: node, ClientID: "permtop"})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// From 0: start with the server's replay ring, so a fresh
+			// permtop shows recent history, not a blank screen.
+			for ev, err := range c.EventsFrom(ctx, 0, typeList...) {
+				if err != nil {
+					m.Fail(node, err)
+					return
+				}
+				m.Observe(node, ev)
+			}
+		}()
+	}
+
+	if *once {
+		select {
+		case <-ctx.Done():
+		case <-time.After(*interval):
+		}
+		stop()
+		wg.Wait()
+		m.Render(stdout)
+		return 0
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return 0
+		case <-time.After(*interval):
+		}
+		fmt.Fprint(stdout, "\x1b[2J\x1b[H") // clear screen, home cursor
+		m.Render(stdout)
+	}
+}
+
+// replayFile feeds a JSONL capture into the model. Each line is one
+// event in the /v1/events wire shape, optionally extended with a
+// "node" field naming its source (defaulting to "replay"); blank lines
+// are skipped.
+func replayFile(m *model, path string, stdin io.Reader) error {
+	r := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			Node string `json:"node"`
+			permclient.Event
+		}
+		rec.Peer, rec.Round, rec.Slot = -1, -1, -1
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return fmt.Errorf("%s:%d: %v", path, lineno, err)
+		}
+		node := rec.Node
+		if node == "" {
+			node = "replay"
+		}
+		m.Observe(node, rec.Event)
+	}
+	return sc.Err()
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"randperm/internal/harness/testkit"
+	"randperm/internal/service"
+)
+
+// TestGoldenSnapshot pins the exact bytes of a -once -replay render
+// from the canned capture. The snapshot is part of the tool's
+// contract: operators diff permtop output across incidents, and the
+// rendering must stay a pure function of the event stream.
+func TestGoldenSnapshot(t *testing.T) {
+	want, err := os.ReadFile("testdata/snapshot.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-replay", "testdata/events.jsonl"}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("permtop -replay: exit %d: %s", code, errb.String())
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("snapshot drifted from testdata/snapshot.golden:\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+// TestGoldenStats re-derives the header numbers from the fixture by
+// hand, so a legitimate rendering change fails both this test and the
+// literal golden together — pointing at the contract, not a typo.
+// The fixture holds 4 request events, 250 items and 62500 ns each,
+// 3 cache hits, spanning time_ns 1.2e9..3.0e9: 4/1.8s = 2.22 req/s,
+// 62500/250 = 250 ns/item, 3/4 = 75.0% hit.
+func TestGoldenStats(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-replay", "testdata/events.jsonl"}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("permtop -replay: exit %d: %s", code, errb.String())
+	}
+	head, _, _ := strings.Cut(out.String(), "\n")
+	for _, want := range []string{"2 node(s)", "14 events", "4 req", "2.22 req/s", "250 ns/item", "75.0% hit"} {
+		if !strings.Contains(head, want) {
+			t.Errorf("header %q missing %q", head, want)
+		}
+	}
+}
+
+// TestReplayStdin: -replay - reads the capture from stdin.
+func TestReplayStdin(t *testing.T) {
+	capture, err := os.ReadFile("testdata/events.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-replay", "-"}, bytes.NewReader(capture), &out, &errb); code != 0 {
+		t.Fatalf("permtop -replay -: exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "14 events") {
+		t.Errorf("stdin replay lost events:\n%s", out.String())
+	}
+}
+
+// TestReplayBadCapture: a malformed line fails loudly with its number.
+func TestReplayBadCapture(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-replay", "-"}, strings.NewReader("{\"type\":\"request\"}\nnot json\n"), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), ":2:") {
+		t.Errorf("error does not name line 2: %s", errb.String())
+	}
+}
+
+// TestLiveSmoke boots a real single-node permd over loopback, serves a
+// materializing chunk, and runs `permtop -once` against it: the
+// snapshot must show the node's request and the materialization on the
+// timeline — the full pipeline from bus publish through SSE, the SDK
+// iterator and the renderer.
+func TestLiveSmoke(t *testing.T) {
+	servers := testkit.Loopback(t, 1, func(node int, peers []string) http.Handler {
+		s, err := service.New(service.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+	url := servers[0].URL
+	testkit.WaitHealthy(t, url)
+	if code, body := testkit.Get(t, url+"/v1/perm/7/chunk?n=4096&backend=shmem"); code != http.StatusOK {
+		t.Fatalf("chunk: %d: %s", code, body)
+	}
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-nodes", url, "-once", "-interval", "300ms"}, strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("permtop -once: exit %d: %s", code, errb.String())
+	}
+	snap := out.String()
+	if !strings.Contains(snap, url) {
+		t.Errorf("snapshot does not name the node %s:\n%s", url, snap)
+	}
+	if !strings.Contains(snap, "materialization") {
+		t.Errorf("snapshot timeline missing the materialization:\n%s", snap)
+	}
+	if !strings.Contains(snap, "1 req") && !strings.Contains(snap, "2 req") {
+		t.Errorf("snapshot header missing the request count:\n%s", snap)
+	}
+}

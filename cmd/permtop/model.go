@@ -1,0 +1,259 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"randperm/permclient"
+)
+
+// The model aggregates the raw event streams into the three things an
+// operator watches: throughput (from "request" events, which carry
+// items served, wall nanoseconds and cache outcome), cluster posture
+// (peer health transitions and round timings) and a timeline of the
+// notable events themselves. Every number on screen is derived from
+// events alone — permtop never scrapes /metrics — so what it shows is
+// exactly what a bus subscriber can know, replay ring included.
+type model struct {
+	mu          sync.Mutex
+	order       []string
+	nodes       map[string]*nodeView
+	timeline    []string
+	timelineCap int
+	t0          int64 // TimeNs of the first event seen; timeline times are relative to it
+}
+
+type nodeView struct {
+	events int64
+	reqs   int64
+	items  int64
+	ns     int64
+	hits   int64
+	misses int64
+	minT   int64 // TimeNs bounds of request events, for req/s
+	maxT   int64
+	peers  map[int]string // peer index -> last health state
+	round  string         // last cluster_round, pre-formatted
+	err    string         // terminal stream error, if the watcher gave up
+}
+
+func newModel(timelineCap int) *model {
+	return &model{nodes: make(map[string]*nodeView), timelineCap: timelineCap}
+}
+
+// ensure registers a node so it renders (with dashes) before its first
+// event arrives. Returns the view; callers hold m.mu or are single-
+// threaded setup code.
+func (m *model) ensure(node string) *nodeView {
+	nv := m.nodes[node]
+	if nv == nil {
+		nv = &nodeView{peers: make(map[int]string)}
+		m.nodes[node] = nv
+		m.order = append(m.order, node)
+	}
+	return nv
+}
+
+// Register pre-creates a node row before its watcher connects.
+func (m *model) Register(node string) {
+	m.mu.Lock()
+	m.ensure(node)
+	m.mu.Unlock()
+}
+
+// Fail records a watcher's terminal error against its node.
+func (m *model) Fail(node string, err error) {
+	m.mu.Lock()
+	m.ensure(node).err = err.Error()
+	m.mu.Unlock()
+}
+
+// Observe folds one event into the model.
+func (m *model) Observe(node string, ev permclient.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nv := m.ensure(node)
+	nv.events++
+	if m.t0 == 0 && ev.TimeNs > 0 {
+		m.t0 = ev.TimeNs
+	}
+	switch ev.Type {
+	case "request":
+		nv.reqs++
+		nv.items += ev.Items
+		nv.ns += ev.Ns
+		switch ev.Cache {
+		case "hit":
+			nv.hits++
+		case "miss":
+			nv.misses++
+		}
+		if nv.minT == 0 || ev.TimeNs < nv.minT {
+			nv.minT = ev.TimeNs
+		}
+		if ev.TimeNs > nv.maxT {
+			nv.maxT = ev.TimeNs
+		}
+		return // requests feed the stats header, not the timeline
+	case "peer_health_change":
+		nv.peers[ev.Peer] = ev.State
+	case "cluster_round":
+		nv.round = fmt.Sprintf("slot=%d round=%d %s", ev.Slot, ev.Round, ev.Detail)
+	}
+	rel := float64(0)
+	if m.t0 > 0 && ev.TimeNs > 0 {
+		rel = float64(ev.TimeNs-m.t0) / 1e9
+	}
+	line := fmt.Sprintf("%+9.3fs  %-10s %-18s %s", rel, node, ev.Type, describe(ev))
+	m.timeline = append(m.timeline, strings.TrimRight(line, " "))
+	if len(m.timeline) > m.timelineCap {
+		m.timeline = m.timeline[len(m.timeline)-m.timelineCap:]
+	}
+}
+
+// describe renders an event's payload as "k=v" pairs, skipping fields
+// the event does not use (zero, or -1 for peer/round/slot).
+func describe(ev permclient.Event) string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if ev.Endpoint != "" {
+		add("endpoint", ev.Endpoint)
+	}
+	if ev.Backend != "" {
+		add("backend", ev.Backend)
+	}
+	if ev.Client != "" {
+		add("client", ev.Client)
+	}
+	if ev.N != 0 {
+		add("n", strconv.FormatInt(ev.N, 10))
+	}
+	if ev.Seed != 0 {
+		add("seed", strconv.FormatUint(ev.Seed, 10))
+	}
+	if ev.Items != 0 {
+		add("items", strconv.FormatInt(ev.Items, 10))
+	}
+	if ev.Ns != 0 {
+		add("ns", strconv.FormatInt(ev.Ns, 10))
+	}
+	if ev.Cache != "" {
+		add("cache", ev.Cache)
+	}
+	if ev.Peer >= 0 {
+		add("peer", strconv.Itoa(ev.Peer))
+	}
+	if ev.Round >= 0 {
+		add("round", strconv.Itoa(ev.Round))
+	}
+	if ev.Slot >= 0 {
+		add("slot", strconv.Itoa(ev.Slot))
+	}
+	if ev.State != "" {
+		add("state", ev.State)
+	}
+	if ev.Detail != "" {
+		add("detail", ev.Detail)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Render writes one full snapshot: stats header, per-node table,
+// cluster posture, timeline. The output is a pure function of the
+// observed events, which is what lets the -replay goldens pin it.
+func (m *model) Render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var events, reqs, items, ns, hits, misses, minT, maxT int64
+	for _, node := range m.order {
+		nv := m.nodes[node]
+		events += nv.events
+		reqs += nv.reqs
+		items += nv.items
+		ns += nv.ns
+		hits += nv.hits
+		misses += nv.misses
+		if nv.minT > 0 && (minT == 0 || nv.minT < minT) {
+			minT = nv.minT
+		}
+		if nv.maxT > maxT {
+			maxT = nv.maxT
+		}
+	}
+	fmt.Fprintf(w, "permtop · %d node(s) · %d events · %d req · %s req/s · %s ns/item · %s%% hit\n\n",
+		len(m.order), events, reqs, fmtRate(reqs, minT, maxT), fmtPerItem(ns, items), fmtHit(hits, misses))
+
+	fmt.Fprintf(w, "%-24s %8s %8s %6s %6s %7s\n", "NODE", "REQ/S", "NS/ITEM", "HIT%", "REQS", "EVENTS")
+	for _, node := range m.order {
+		nv := m.nodes[node]
+		fmt.Fprintf(w, "%-24s %8s %8s %6s %6d %7d\n", node,
+			fmtRate(nv.reqs, nv.minT, nv.maxT), fmtPerItem(nv.ns, nv.items), fmtHit(nv.hits, nv.misses), nv.reqs, nv.events)
+		if nv.err != "" {
+			fmt.Fprintf(w, "  ! stream error: %s\n", nv.err)
+		}
+	}
+
+	posture := false
+	for _, node := range m.order {
+		nv := m.nodes[node]
+		if nv.round != "" || len(nv.peers) > 0 {
+			posture = true
+		}
+	}
+	if posture {
+		fmt.Fprintf(w, "\n%-24s %-28s %s\n", "NODE", "LAST ROUND", "PEERS")
+		for _, node := range m.order {
+			nv := m.nodes[node]
+			if nv.round == "" && len(nv.peers) == 0 {
+				continue
+			}
+			keys := make([]int, 0, len(nv.peers))
+			for k := range nv.peers {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			var peers []string
+			for _, k := range keys {
+				peers = append(peers, fmt.Sprintf("%d:%s", k, nv.peers[k]))
+			}
+			round := nv.round
+			if round == "" {
+				round = "-"
+			}
+			fmt.Fprintf(w, "%-24s %-28s %s\n", node, round, strings.Join(peers, " "))
+		}
+	}
+
+	if len(m.timeline) > 0 {
+		fmt.Fprintf(w, "\nTIMELINE\n")
+		for _, line := range m.timeline {
+			fmt.Fprintf(w, "%s\n", line)
+		}
+	}
+}
+
+func fmtRate(reqs, minT, maxT int64) string {
+	if reqs == 0 || maxT <= minT {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(reqs)/(float64(maxT-minT)/1e9))
+}
+
+func fmtPerItem(ns, items int64) string {
+	if items == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", float64(ns)/float64(items))
+}
+
+func fmtHit(hits, misses int64) string {
+	if hits+misses == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(hits)/float64(hits+misses))
+}

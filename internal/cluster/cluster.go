@@ -62,6 +62,7 @@ import (
 	"randperm/internal/commat"
 	"randperm/internal/core"
 	"randperm/internal/engine"
+	"randperm/internal/events"
 )
 
 // Config wires one node into a cluster. All nodes must agree on Procs,
@@ -118,6 +119,12 @@ type Config struct {
 	ProbeSick time.Duration
 	// Client performs the peer requests (default: 60 s timeout).
 	Client *http.Client
+	// Events, when non-nil, receives the node's operational events:
+	// cluster_round per completed build round, hedge/failover outcomes
+	// on routed reads, peer_health_change transitions and join_result
+	// handshakes. Purely observational — best-effort by the bus
+	// contract, and never on the wire path of a byte served.
+	Events *events.Bus
 }
 
 // Node is one member of the cluster: it computes and caches shards for
@@ -183,13 +190,43 @@ func New(cfg Config) (*Node, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 60 * time.Second}
 	}
-	return &Node{
+	nd := &Node{
 		cfg:    cfg,
 		client: client,
 		health: newHealth(len(cfg.Peers), cfg.ProbeSick),
 		shards: make(map[shardKey]*list.Element),
 		lru:    list.New(),
-	}, nil
+	}
+	nd.health.onChange = func(k int, from, to peerState) {
+		ev := events.New(events.TypePeerHealthChange)
+		ev.Peer = k
+		ev.State = to.String()
+		ev.Detail = from.String()
+		nd.publish(ev)
+	}
+	return nd, nil
+}
+
+// publish offers ev to the configured event bus, if any. Safe on a
+// node without one — the drills and library users run bus-less.
+func (nd *Node) publish(ev events.Event) {
+	if nd.cfg.Events != nil {
+		nd.cfg.Events.Publish(ev)
+	}
+}
+
+// publishRound reports one completed (or failed) build round for slot's
+// shard of the (seed, n) permutation.
+func (nd *Node) publishRound(slot, round int, n int64, seed uint64, d time.Duration, detail string) {
+	ev := events.New(events.TypeClusterRound)
+	ev.Peer = nd.cfg.Self
+	ev.Slot = slot
+	ev.Round = round
+	ev.N = n
+	ev.Seed = seed
+	ev.Ns = d.Nanoseconds()
+	ev.Detail = detail
+	nd.publish(ev)
 }
 
 // Self returns this node's index; Nodes the cluster size; Procs the
@@ -387,8 +424,10 @@ func (nd *Node) buildShard(slot int, n int64, seed uint64) (*Shard, error) {
 
 	// Round 1: the communication matrix, sampled locally. Stream 0 of
 	// the shared seed — every node derives the same matrix.
+	began := time.Now()
 	streams := engine.CGMStreams(seed, p)
 	a := commat.SampleSeq(streams[0], sizes, sizes)
+	nd.publishRound(slot, 1, n, seed, time.Since(began), "matrix")
 
 	// Within owned target block j, source i's segment begins at the
 	// column prefix sum colCum[j-blo][i] (sources in rank order — the
@@ -411,6 +450,7 @@ func (nd *Node) buildShard(slot int, n int64, seed uint64) (*Shard, error) {
 	// node replicates is recomputed locally from its stream — replicas
 	// are free, so no wire traffic is spent on payloads this node can
 	// derive itself.
+	began = time.Now()
 	for i := 0; i < p; i++ {
 		if !nd.hasDuty(self, ownerOfBlock(p, nodes, i)) {
 			continue
@@ -450,12 +490,18 @@ func (nd *Node) buildShard(slot int, n int64, seed uint64) (*Shard, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			// The failed exchange is reported as the round's event too
+			// (Detail "failed"), so an event-stream consumer sees the
+			// round the PeerError names without parsing error strings.
+			nd.publishRound(slot, 2, n, seed, time.Since(began), "failed")
 			return nil, err
 		}
 	}
+	nd.publishRound(slot, 2, n, seed, time.Since(began), "exchange")
 
 	// Round 3: arrange every owned target block in place from its own
 	// stream, on the engine's worker pool.
+	began = time.Now()
 	pool := engine.NewPool(min(nd.workers(), bhi-blo), seed)
 	defer pool.Close()
 	if err := pool.For(bhi-blo, func(jj int) {
@@ -465,6 +511,7 @@ func (nd *Node) buildShard(slot int, n int64, seed uint64) (*Shard, error) {
 	}); err != nil {
 		return nil, err
 	}
+	nd.publishRound(slot, 3, n, seed, time.Since(began), "arrange")
 	return &Shard{Start: start, End: end, Vals: vals}, nil
 }
 

@@ -54,6 +54,11 @@ const failThreshold = 2
 // concurrent use.
 type health struct {
 	probeSick time.Duration // how long a down peer is skipped before it is probed again
+	// onChange, when set, is told about every state transition (from,
+	// to) of a peer — the cluster node wires it to the event bus. It is
+	// called with h.mu held, so it must not call back into this tracker
+	// (a bus publish does not).
+	onChange func(k int, from, to peerState)
 
 	mu    sync.Mutex
 	state []peerState
@@ -72,8 +77,12 @@ func newHealth(peers int, probeSick time.Duration) *health {
 
 func (h *health) set(k int, s peerState) {
 	if h.state[k] != s {
+		from := h.state[k]
 		h.state[k] = s
 		h.since[k] = time.Now()
+		if h.onChange != nil {
+			h.onChange(k, from, s)
+		}
 	}
 }
 

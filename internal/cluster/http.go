@@ -15,7 +15,20 @@ import (
 	"randperm/internal/commat"
 	"randperm/internal/core"
 	"randperm/internal/engine"
+	"randperm/internal/events"
 )
+
+// publishServeEvent reports a hedge or failover decision on a routed
+// read (or an exchange failover) as a cluster_round event: Peer is the
+// replica being tried, Round names the phase, Detail the decision.
+func (nd *Node) publishServeEvent(peer, round, slot int, detail string) {
+	ev := events.New(events.TypeClusterRound)
+	ev.Peer = peer
+	ev.Round = round
+	ev.Slot = slot
+	ev.Detail = detail
+	nd.publish(ev)
+}
 
 // The exchange wire format (one round-2 h-relation leg, server -> one
 // requesting peer) is length-prefixed little-endian binary:
@@ -306,6 +319,7 @@ func (nd *Node) fetchExchangeSlot(from, to int, n int64, seed uint64, a *commat.
 	for try, k := range cands {
 		if try > 0 {
 			nd.failovers.Add(1)
+			nd.publishServeEvent(k, RoundExchange, from, "failover")
 		}
 		err := nd.fetchExchange(k, from, to, n, seed, a, place)
 		if err == nil {
@@ -552,6 +566,7 @@ func (nd *Node) readRemoteSpan(slot int, n int64, seed uint64, dst []int64, star
 			hedgeC = nil
 			if launched < len(cands) {
 				nd.hedgedReqs.Add(1)
+				nd.publishServeEvent(cands[launched], RoundServe, slot, "hedge")
 				launch(true)
 				pending++
 			}
@@ -561,12 +576,14 @@ func (nd *Node) readRemoteSpan(slot int, n int64, seed uint64, dst []int64, star
 				copy(dst, res.buf)
 				if res.hedged {
 					nd.hedgeWins.Add(1)
+					nd.publishServeEvent(res.cand, RoundServe, slot, "hedge_win")
 				}
 				return nil
 			}
 			attempts = append(attempts, res.err)
 			if launched < len(cands) {
 				nd.failovers.Add(1)
+				nd.publishServeEvent(cands[launched], RoundServe, slot, "failover")
 				launch(false)
 				pending++
 			} else if pending == 0 {

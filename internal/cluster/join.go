@@ -10,7 +10,20 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"randperm/internal/events"
 )
+
+// publishJoin reports one handshake resolution: Detail "in" for a
+// handshake served to a peer, "out" for one this node dialed; State is
+// the outcome ("ok", "mismatch" or "error").
+func (nd *Node) publishJoin(peer int, detail, state string) {
+	ev := events.New(events.TypeJoinResult)
+	ev.Peer = peer
+	ev.Detail = detail
+	ev.State = state
+	nd.publish(ev)
+}
 
 // The join handshake is the cluster's membership seam, and it is
 // deliberately stateless: because every shard slot's bytes re-derive
@@ -78,10 +91,12 @@ func (nd *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{"node": nd.cfg.Self, "geometry": g, "hash": hash}
 	w.Header().Set("Content-Type", "application/json")
 	if got := q.Get("hash"); got != hash {
+		nd.publishJoin(node, "in", "mismatch")
 		w.WriteHeader(http.StatusConflict)
 		json.NewEncoder(w).Encode(body)
 		return
 	}
+	nd.publishJoin(node, "in", "ok")
 	if node != nd.cfg.Self {
 		nd.health.success(node)
 	}
@@ -104,13 +119,16 @@ func (nd *Node) Join(ctx context.Context, k int) error {
 	u := fmt.Sprintf("%s/v1/cluster/join?node=%d&hash=%s", nd.cfg.Peers[k], nd.cfg.Self, nd.Geometry().Hash())
 	resp, err := nd.peerGet(ctx, k, u)
 	if err != nil {
+		nd.publishJoin(k, "out", "error")
 		return nd.peerError(k, RoundServe, "join", err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
+		nd.publishJoin(k, "out", "ok")
 		return nil
 	case http.StatusConflict:
+		nd.publishJoin(k, "out", "mismatch")
 		var remote struct {
 			Geometry Geometry `json:"geometry"`
 			Hash     string   `json:"hash"`
@@ -124,6 +142,7 @@ func (nd *Node) Join(ctx context.Context, k int) error {
 			nd.Geometry().Hash(), nd.cfg.Procs, nd.cfg.Replicas, len(nd.cfg.Peers),
 			remote.Hash, remote.Geometry.Procs, remote.Geometry.Replicas, len(remote.Geometry.Peers)))
 	default:
+		nd.publishJoin(k, "out", "error")
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nd.peerError(k, RoundServe, "join", fmt.Errorf("%s: %s", resp.Status, msg))
 	}

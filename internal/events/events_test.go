@@ -1,0 +1,374 @@
+package events
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFanOut: every active subscriber receives every matching event,
+// in publish order, even when publishers race — the core delivery
+// contract, exercised under -race by CI.
+func TestFanOut(t *testing.T) {
+	const subs, publishers, perPublisher = 16, 4, 250
+	const total = publishers * perPublisher
+	b := NewBus(Options{Buffer: total, MaxSubscribers: subs})
+
+	subscriptions := make([]*Subscription, subs)
+	for i := range subscriptions {
+		var err error
+		subscriptions[i], err = b.Subscribe(All(), b.LastSeq())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				ev := New(TypeMaterialization)
+				ev.N = int64(p*perPublisher + i)
+				b.Publish(ev)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	if got := b.Published(); got != total {
+		t.Fatalf("published %d, want %d", got, total)
+	}
+	for i, sub := range subscriptions {
+		seen := make(map[int64]bool)
+		lastSeq := uint64(0)
+		for j := 0; j < total; j++ {
+			ev := <-sub.Events()
+			if ev.Seq <= lastSeq {
+				t.Fatalf("subscriber %d: sequence not increasing: %d after %d", i, ev.Seq, lastSeq)
+			}
+			lastSeq = ev.Seq
+			if seen[ev.N] {
+				t.Fatalf("subscriber %d: duplicate payload %d", i, ev.N)
+			}
+			seen[ev.N] = true
+		}
+		if len(seen) != total {
+			t.Fatalf("subscriber %d: received %d distinct events, want %d", i, len(seen), total)
+		}
+		if d := sub.Dropped(); d != 0 {
+			t.Fatalf("subscriber %d: dropped %d with an ample buffer", i, d)
+		}
+		sub.Close()
+	}
+	if d := b.Dropped(); d != 0 {
+		t.Fatalf("bus counted %d drops, want 0", d)
+	}
+}
+
+// TestWedgedSubscriberNeverBlocksPublish is the backpressure pin: a
+// subscriber that never reads costs publishers nothing. The test is
+// deliberately timeout-free — if publish could block on the wedged
+// channel the test would hang and the suite's own deadline would flag
+// it, which is exactly the regression this guards against.
+func TestWedgedSubscriberNeverBlocksPublish(t *testing.T) {
+	const buffer, total = 4, 10_000
+	b := NewBus(Options{Buffer: buffer})
+	wedged, err := b.Subscribe(All(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, err := b.Subscribe(All(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int)
+	go func() { // active reader drains concurrently until Close
+		n := 0
+		for range active.Events() {
+			n++
+		}
+		done <- n
+	}()
+
+	for i := 0; i < total; i++ {
+		b.Publish(New(TypeRequest)) // must never block, wedged or not
+	}
+
+	if d := wedged.Dropped(); d != total-buffer {
+		t.Fatalf("wedged subscriber dropped %d, want %d", d, total-buffer)
+	}
+	active.Close()
+	received := <-done
+	// The active reader may itself drop under this tiny buffer, but no
+	// delivery goes unaccounted: received + dropped covers every publish.
+	if got := uint64(received) + active.Dropped(); got != total {
+		t.Fatalf("active subscriber: %d received + %d dropped = %d, want %d",
+			received, active.Dropped(), got, uint64(total))
+	}
+	if d := b.Dropped(); d != int64(wedged.Dropped()+active.Dropped()) {
+		t.Fatalf("bus drop counter %d, want %d", d, wedged.Dropped()+active.Dropped())
+	}
+	wedged.Close()
+}
+
+// TestUnsubscribeDuringPublish races Close against Publish: the bus
+// lock must order delivery and channel close so no publish ever sends
+// on a closed channel (which would panic) and no subscriber slot
+// leaks. Run under -race in CI.
+func TestUnsubscribeDuringPublish(t *testing.T) {
+	b := NewBus(Options{Buffer: 8, MaxSubscribers: 64})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Publish(New(TypeCacheEvict))
+				}
+			}
+		}()
+	}
+	for round := 0; round < 200; round++ {
+		sub, err := b.Subscribe(All(), b.LastSeq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drain a little, then unsubscribe while publishers hammer on.
+		for i := 0; i < 3; i++ {
+			select {
+			case <-sub.Events():
+			default:
+			}
+		}
+		sub.Close()
+		sub.Close() // idempotent
+	}
+	close(stop)
+	wg.Wait()
+	if n := b.Subscribers(); n != 0 {
+		t.Fatalf("%d subscribers leaked", n)
+	}
+}
+
+// TestReplayResume pins the Last-Event-ID contract: a subscriber
+// presenting afterSeq = k receives exactly k+1..head (no duplicates,
+// no gaps) for any k within the ring bound, then live events with the
+// next sequence numbers.
+func TestReplayResume(t *testing.T) {
+	const replay, published = 32, 100
+	b := NewBus(Options{Replay: replay, Buffer: 256})
+	for i := 0; i < published; i++ {
+		ev := New(TypeMaterialization)
+		ev.N = int64(i)
+		b.Publish(ev)
+	}
+	head := b.LastSeq()
+	floor := head - replay + 1 // oldest sequence still in the ring
+
+	for _, after := range []uint64{head, head - 1, head - replay/2, floor - 1, floor, 10, 0} {
+		sub, err := b.Subscribe(All(), after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFirst := after + 1
+		if wantFirst < floor {
+			wantFirst = floor // older events are gone; replay starts at the bound
+		}
+		want := wantFirst
+		for want <= head {
+			ev := <-sub.Events()
+			if ev.Seq != want {
+				t.Fatalf("resume after %d: got seq %d, want %d", after, ev.Seq, want)
+			}
+			want++
+		}
+		// Live delivery picks up exactly after the replayed suffix.
+		liveSeq := b.Publish(New(TypeCacheEvict))
+		if ev := <-sub.Events(); ev.Seq != liveSeq {
+			t.Fatalf("resume after %d: live event seq %d, want %d", after, ev.Seq, liveSeq)
+		}
+		head = liveSeq
+		floor = head - replay + 1
+		sub.Close()
+	}
+}
+
+// TestReplayHonorsFilter: resume and type filtering compose — the
+// replayed suffix contains only matching events, still in order.
+func TestReplayHonorsFilter(t *testing.T) {
+	b := NewBus(Options{})
+	var matSeqs []uint64
+	for i := 0; i < 10; i++ {
+		matSeqs = append(matSeqs, b.Publish(New(TypeMaterialization)))
+		b.Publish(New(TypeRequest))
+	}
+	sub, err := b.Subscribe(TypeSet(0).With(TypeMaterialization), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	for _, want := range matSeqs {
+		ev := <-sub.Events()
+		if ev.Seq != want || ev.Type != TypeMaterialization {
+			t.Fatalf("got (seq %d, %s), want (seq %d, materialization)", ev.Seq, ev.Type, want)
+		}
+	}
+}
+
+// TestSubscriberLimit: the cap refuses the N+1th subscription and a
+// Close frees the slot.
+func TestSubscriberLimit(t *testing.T) {
+	b := NewBus(Options{MaxSubscribers: 2})
+	s1, err := b.Subscribe(All(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe(All(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe(All(), 0); err != ErrSubscriberLimit {
+		t.Fatalf("third subscribe: got %v, want ErrSubscriberLimit", err)
+	}
+	s1.Close()
+	s3, err := b.Subscribe(All(), 0)
+	if err != nil {
+		t.Fatalf("subscribe after close: %v", err)
+	}
+	s3.Close()
+}
+
+// TestPublishStampsSeqAndTime: sequence numbers start at 1 and
+// increment; a zero TimeNs is stamped from the bus clock, a pre-set
+// one (fixtures) is preserved.
+func TestPublishStampsSeqAndTime(t *testing.T) {
+	b := NewBus(Options{})
+	fixed := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	b.SetClock(func() time.Time { return fixed })
+	sub, _ := b.Subscribe(All(), 0)
+	defer sub.Close()
+
+	if seq := b.Publish(New(TypeRequest)); seq != 1 {
+		t.Fatalf("first seq %d, want 1", seq)
+	}
+	pre := New(TypeRequest)
+	pre.TimeNs = 42
+	if seq := b.Publish(pre); seq != 2 {
+		t.Fatalf("second seq %d, want 2", seq)
+	}
+	ev1, ev2 := <-sub.Events(), <-sub.Events()
+	if ev1.TimeNs != fixed.UnixNano() {
+		t.Fatalf("stamped time %d, want %d", ev1.TimeNs, fixed.UnixNano())
+	}
+	if ev2.TimeNs != 42 {
+		t.Fatalf("pre-set time %d, want 42", ev2.TimeNs)
+	}
+}
+
+// TestEventJSONRoundTrip: the wire shape — type as its wire name, -1
+// sentinels always present, zero payload fields omitted.
+func TestEventJSONRoundTrip(t *testing.T) {
+	ev := New(TypePeerHealthChange)
+	ev.Seq, ev.TimeNs, ev.Peer, ev.State, ev.Detail = 7, 123, 0, "down", "healthy"
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"type":"peer_health_change"`, `"peer":0`, `"round":-1`, `"slot":-1`} {
+		if !jsonContains(string(data), want) {
+			t.Fatalf("encoded event %s missing %s", data, want)
+		}
+	}
+	var back Event
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != ev {
+		t.Fatalf("round trip: got %+v, want %+v", back, ev)
+	}
+}
+
+func jsonContains(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// TestParseFilter covers the grammar table: empty = all, single and
+// multi-element lists, duplicates, and the error cases.
+func TestParseFilter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want TypeSet
+		ok   bool
+	}{
+		{"", All(), true},
+		{"materialization", TypeSet(0).With(TypeMaterialization), true},
+		{"materialization,cache_evict", TypeSet(0).With(TypeMaterialization).With(TypeCacheEvict), true},
+		{"cache_evict,materialization,cache_evict", TypeSet(0).With(TypeMaterialization).With(TypeCacheEvict), true},
+		{"request,slow_request,quota_refusal,admission_queue,cluster_round,peer_health_change,join_result,materialization,cache_evict", All(), true},
+		{"bogus", 0, false},
+		{"materialization,", 0, false},
+		{",materialization", 0, false},
+		{"materialization, cache_evict", 0, false}, // spaces are not grammar
+		{"MATERIALIZATION", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseFilter(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseFilter(%q): err = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && got != c.want {
+			t.Fatalf("ParseFilter(%q) = %016b, want %016b", c.in, got, c.want)
+		}
+	}
+}
+
+// TestFilterStringRoundTrip: every set's String() reparses to the same
+// set — the property FuzzParseEventFilter hammers with arbitrary input.
+func TestFilterStringRoundTrip(t *testing.T) {
+	for mask := TypeSet(0); mask <= All(); mask++ {
+		if mask == 0 {
+			continue // the empty set has no spelling in the grammar
+		}
+		s := mask.String()
+		back, err := ParseFilter(s)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q.String()): %v", mask, err)
+		}
+		if back != mask {
+			t.Fatalf("round trip %016b -> %q -> %016b", mask, s, back)
+		}
+	}
+}
+
+// TestTypeNamesComplete guards the parallel tables: every type has a
+// distinct wire name that parses back to itself.
+func TestTypeNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for i := Type(0); i < typeCount; i++ {
+		name := i.String()
+		if seen[name] {
+			t.Fatalf("duplicate wire name %q", name)
+		}
+		seen[name] = true
+		back, err := ParseType(name)
+		if err != nil || back != i {
+			t.Fatalf("ParseType(%q) = (%v, %v), want (%d, nil)", name, back, err, i)
+		}
+	}
+	if _, err := ParseType(fmt.Sprintf("type(%d)", typeCount)); err == nil {
+		t.Fatal("out-of-range String() spelling must not parse")
+	}
+}

@@ -1,0 +1,34 @@
+package events
+
+import "testing"
+
+// FuzzParseEventFilter pins the ?types= grammar: arbitrary input never
+// panics, and any accepted filter survives a String/Parse round trip
+// (so a filter echoed back to a client reparses to the same set).
+func FuzzParseEventFilter(f *testing.F) {
+	f.Add("")
+	f.Add("materialization")
+	f.Add("materialization,cache_evict")
+	f.Add("request,slow_request,quota_refusal")
+	f.Add("bogus")
+	f.Add(",")
+	f.Add("materialization,,cache_evict")
+	f.Add("MATERIALIZATION")
+	f.Add("materialization ,cache_evict")
+	f.Fuzz(func(t *testing.T, s string) {
+		set, err := ParseFilter(s)
+		if err != nil {
+			return
+		}
+		if set == 0 {
+			t.Fatalf("ParseFilter(%q) accepted an empty set", s)
+		}
+		back, err := ParseFilter(set.String())
+		if err != nil {
+			t.Fatalf("accepted filter %q -> %q failed to reparse: %v", s, set.String(), err)
+		}
+		if back != set {
+			t.Fatalf("round trip: %q -> %016b -> %q -> %016b", s, set, set.String(), back)
+		}
+	})
+}

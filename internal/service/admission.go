@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"randperm"
+	"randperm/internal/events"
 )
 
 // The materialization admission gate: at most Config.MaxBuilds n-word
@@ -120,7 +121,8 @@ func (s *Server) joinBuild(ctx context.Context, e *handleEntry) error {
 // only the waiter refcount does.
 func (s *Server) runBuild(a *buildAttempt, e *handleEntry, bctx context.Context) {
 	defer a.cancel()
-	err := s.acquireBuildSlot(bctx)
+	queued, err := s.acquireBuildSlot(bctx)
+	s.publishAdmission(e.key, queued, err)
 	if err == nil {
 		s.met.admissionBuilds.Add(1)
 		s.met.admissionInflight.Add(1)
@@ -140,11 +142,13 @@ func (s *Server) runBuild(a *buildAttempt, e *handleEntry, bctx context.Context)
 }
 
 // acquireBuildSlot takes one slot of the bounded build semaphore,
-// queueing up to Config.BuildWait when all slots are busy.
-func (s *Server) acquireBuildSlot(ctx context.Context) error {
+// queueing up to Config.BuildWait when all slots are busy. queued
+// reports whether the caller had to wait for a busy slot (whatever the
+// outcome).
+func (s *Server) acquireBuildSlot(ctx context.Context) (queued bool, err error) {
 	select {
 	case s.buildSem <- struct{}{}:
-		return nil
+		return false, nil
 	default:
 	}
 	s.met.admissionQueued.Add(1)
@@ -152,13 +156,33 @@ func (s *Server) acquireBuildSlot(ctx context.Context) error {
 	defer t.Stop()
 	select {
 	case s.buildSem <- struct{}{}:
-		return nil
+		return true, nil
 	case <-t.C:
 		s.met.admissionTimeouts.Add(1)
-		return errBuildQueueFull
+		return true, errBuildQueueFull
 	case <-ctx.Done():
-		return ctx.Err()
+		return true, ctx.Err()
 	}
+}
+
+// publishAdmission reports a build's gate resolution onto the event
+// bus: Detail "admitted" (free slot), "queued" (waited, then got one),
+// "refused" (queue deadline, the 503 path) or "abandoned" (every
+// waiting client disconnected first).
+func (s *Server) publishAdmission(key handleKey, queued bool, err error) {
+	ev := events.New(events.TypeAdmissionQueue)
+	ev.N, ev.Seed, ev.Backend = key.n, key.seed, key.backend.String()
+	switch {
+	case err == nil && !queued:
+		ev.Detail = "admitted"
+	case err == nil:
+		ev.Detail = "queued"
+	case errors.Is(err, errBuildQueueFull):
+		ev.Detail = "refused"
+	default:
+		ev.Detail = "abandoned"
+	}
+	s.bus.Publish(ev)
 }
 
 // buildWaitRetry is the Retry-After (in whole seconds, >= 1) answered

@@ -47,6 +47,9 @@ type handleEntry struct {
 type handleCache struct {
 	capacity int
 	build    func(handleKey) (*randperm.Permuter, error)
+	// onEvict, when set, is told about each key dropped by the LRU —
+	// called outside the cache lock, after the eviction took effect.
+	onEvict func(handleKey)
 
 	mu      sync.Mutex
 	entries map[handleKey]*list.Element // value: *handleEntry
@@ -69,15 +72,20 @@ func newHandleCache(capacity int, met *metrics, build func(handleKey) (*randperm
 }
 
 // get returns the cache entry for key, constructing its handle (once,
-// shared across racing callers) on a miss. Callers read the handle from
-// entry.pm and run materializing builds through the entry's gate.
-func (c *handleCache) get(key handleKey) (*handleEntry, error) {
+// shared across racing callers) on a miss, and reports whether the
+// entry was already resident (the request-event cache outcome). Callers
+// read the handle from entry.pm and run materializing builds through
+// the entry's gate.
+func (c *handleCache) get(key handleKey) (*handleEntry, bool, error) {
 	c.mu.Lock()
 	var e *handleEntry
+	var hit bool
+	var evicted []handleKey
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		e = el.Value.(*handleEntry)
 		c.met.cacheHits.Add(1)
+		hit = true
 	} else {
 		e = &handleEntry{key: key}
 		c.entries[key] = c.lru.PushFront(e)
@@ -85,11 +93,18 @@ func (c *handleCache) get(key handleKey) (*handleEntry, error) {
 		for c.lru.Len() > c.capacity {
 			oldest := c.lru.Back()
 			c.lru.Remove(oldest)
-			delete(c.entries, oldest.Value.(*handleEntry).key)
+			oldKey := oldest.Value.(*handleEntry).key
+			delete(c.entries, oldKey)
 			c.met.cacheEvictions.Add(1)
+			evicted = append(evicted, oldKey)
 		}
 	}
 	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, k := range evicted {
+			c.onEvict(k)
+		}
+	}
 
 	e.once.Do(func() {
 		e.pm, e.err = c.build(key)
@@ -103,9 +118,9 @@ func (c *handleCache) get(key handleKey) (*handleEntry, error) {
 			delete(c.entries, key)
 		}
 		c.mu.Unlock()
-		return nil, e.err
+		return nil, hit, e.err
 	}
-	return e, nil
+	return e, hit, nil
 }
 
 // len reports how many handles are resident (for /healthz).

@@ -76,12 +76,13 @@ const (
 	epSample
 	epAssign
 	epEpochs
+	epEvents
 	epHealthz
 	epMetrics
 	epCount
 )
 
-var epNames = [epCount]string{"chunk", "at", "shuffle", "sample", "assign", "epochs", "healthz", "metrics"}
+var epNames = [epCount]string{"chunk", "at", "shuffle", "sample", "assign", "epochs", "events", "healthz", "metrics"}
 
 // write emits the counters in Prometheus text format, one family per
 // metric, endpoint as a label. Families print in a fixed order so

@@ -56,6 +56,7 @@ import (
 
 	"randperm"
 	"randperm/internal/cluster"
+	"randperm/internal/events"
 	"randperm/internal/workload"
 )
 
@@ -136,6 +137,38 @@ type Config struct {
 	// of 50 ms; negative disables hedging). Node-local: it cannot
 	// affect any byte served, only tail latency.
 	ClusterHedge time.Duration
+	// Events sizes the live event stream (events.go): the internal bus
+	// every layer publishes to and GET /v1/events drains. The zero
+	// value enables it with the defaults; events are best-effort by
+	// contract and cannot affect a byte served.
+	Events EventsConfig
+}
+
+// EventsConfig sizes the event bus behind GET /v1/events. Zero values
+// take the defaults noted per field.
+type EventsConfig struct {
+	// Buffer is each SSE subscriber's delivery-channel capacity
+	// (default 256): the backpressure bound past which a slow consumer
+	// loses events (counted in permd_events_dropped_total) rather than
+	// slowing anything down.
+	Buffer int
+	// Replay is the replay-ring capacity (default 1024): how far back
+	// a Last-Event-ID resume can reach.
+	Replay int
+	// MaxSubscribers caps concurrent /v1/events streams (default 64);
+	// past it new subscriptions get 503.
+	MaxSubscribers int
+	// SlowThreshold is the wall time past which a completed request
+	// additionally publishes a slow_request event (default 1s;
+	// negative disables slow-request events).
+	SlowThreshold time.Duration
+}
+
+func (c EventsConfig) withDefaults() EventsConfig {
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = time.Second
+	}
+	return c
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +199,7 @@ func (c Config) withDefaults() Config {
 	if c.DefaultBackend == "" {
 		c.DefaultBackend = "bijective"
 	}
+	c.Events = c.Events.withDefaults()
 	return c
 }
 
@@ -175,6 +209,7 @@ type Server struct {
 	cfg        Config
 	defBackend randperm.Backend
 	met        metrics
+	bus        *events.Bus // the live-operations spine (events.go)
 	cache      *handleCache
 	quota      *quotas       // nil when Config.Quota is disabled
 	buildSem   chan struct{} // materialization slots (admission.go)
@@ -201,6 +236,11 @@ func New(cfg Config) (*Server, error) {
 		mux:        http.NewServeMux(),
 		epochers:   make(map[epocherKey]*workload.Epocher),
 	}
+	s.bus = events.NewBus(events.Options{
+		Buffer:         cfg.Events.Buffer,
+		Replay:         cfg.Events.Replay,
+		MaxSubscribers: cfg.Events.MaxSubscribers,
+	})
 	s.buildSem = make(chan struct{}, cfg.MaxBuilds)
 	if cfg.Quota.Enabled() {
 		s.quota = newQuotas(cfg.Quota)
@@ -214,6 +254,7 @@ func New(cfg Config) (*Server, error) {
 			MaxShards:  cfg.MaxHandles,
 			MaxN:       cfg.MaxN,
 			HedgeAfter: cfg.ClusterHedge,
+			Events:     s.bus,
 		})
 		if err != nil {
 			return nil, err
@@ -221,6 +262,11 @@ func New(cfg Config) (*Server, error) {
 		s.mux.Handle("/v1/cluster/", s.node.Handler())
 	}
 	s.cache = newHandleCache(cfg.MaxHandles, &s.met, s.buildHandle)
+	s.cache.onEvict = func(key handleKey) {
+		ev := events.New(events.TypeCacheEvict)
+		ev.N, ev.Seed, ev.Backend = key.n, key.seed, key.backend.String()
+		s.bus.Publish(ev)
+	}
 	s.bufs.New = func() any {
 		b := make([]int64, cfg.MaxChunk)
 		return &b
@@ -231,12 +277,73 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sample", s.handleSample)
 	s.mux.HandleFunc("GET /v1/assign", s.handleAssign)
 	s.mux.HandleFunc("GET /v1/epochs", s.handleEpochs)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// EventBus exposes the server's event bus: cmd/permd does not need it,
+// but in-process consumers (tests, embedded dashboards) subscribe
+// directly instead of dialing their own SSE stream.
+func (s *Server) EventBus() *events.Bus { return s.bus }
+
+// reqInfo rides each request's context so handlers can report what the
+// request-level event (events.go) should carry — items served, the
+// handle-cache outcome, the resolved permutation identity. Plain fields:
+// only the handling goroutine writes them, and the middleware reads them
+// after the handler returns.
+type reqInfo struct {
+	items   int64
+	cache   string // "hit" / "miss" when a handle was resolved
+	backend string
+	n       int64
+	seed    uint64
+}
+
+type reqInfoKey struct{}
+
+// reqInfoOf returns the request's reqInfo, or nil for requests that
+// bypassed the middleware (direct mux use in tests, /v1/events).
+func reqInfoOf(r *http.Request) *reqInfo {
+	ri, _ := r.Context().Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// ServeHTTP is the middleware seam: every request except the event
+// stream itself gets timed and reported onto the bus as a request event
+// (plus a slow_request event past Config.Events.SlowThreshold). The
+// cost with no subscribers is one mutex acquisition and one ring write
+// per request — the non-perturbation benchmark pins it.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/events" {
+		// The stream is long-lived; a per-request completion event for
+		// it would only ever describe a disconnect.
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	ri := &reqInfo{}
+	r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
+	began := time.Now()
+	s.mux.ServeHTTP(w, r)
+	elapsed := time.Since(began)
+
+	ev := events.New(events.TypeRequest)
+	ev.Endpoint = r.URL.Path
+	ev.Ns = elapsed.Nanoseconds()
+	ev.Items = ri.items
+	ev.Cache = ri.cache
+	ev.Backend = ri.backend
+	ev.N = ri.n
+	ev.Seed = ri.seed
+	s.bus.Publish(ev)
+	if t := s.cfg.Events.SlowThreshold; t > 0 && elapsed >= t {
+		slow := ev
+		slow.Type = events.TypeSlowRequest
+		slow.Client = clientKey(r)
+		s.bus.Publish(slow)
+	}
+}
 
 // buildHandle is the cache's single-flight constructor: the one place a
 // Permuter is made, so the materialization-counting hook is registered
@@ -257,7 +364,12 @@ func (s *Server) buildHandle(key handleKey) (*randperm.Permuter, error) {
 	if err != nil {
 		return nil, err
 	}
-	pm.OnMaterialize(func() { s.met.materializations.Add(1) })
+	pm.OnMaterialize(func() {
+		s.met.materializations.Add(1)
+		ev := events.New(events.TypeMaterialization)
+		ev.N, ev.Seed, ev.Backend = key.n, key.seed, key.backend.String()
+		s.bus.Publish(ev)
+	})
 	return pm, nil
 }
 
@@ -313,10 +425,17 @@ func (s *Server) permuterFor(w http.ResponseWriter, r *http.Request) (e *handleE
 			n, s.cfg.MaxN, backend)
 		return nil, 0, 0, false
 	}
-	e, err = s.cache.get(handleKey{n: n, seed: seed, backend: backend})
+	e, hit, err := s.cache.get(handleKey{n: n, seed: seed, backend: backend})
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "building permutation: %v", err)
 		return nil, 0, 0, false
+	}
+	if ri := reqInfoOf(r); ri != nil {
+		ri.n, ri.seed, ri.backend = n, seed, backend.String()
+		ri.cache = "miss"
+		if hit {
+			ri.cache = "hit"
+		}
 	}
 	w.Header().Set("Permd-Backend", backend.String())
 	return e, n, backend, true
@@ -341,6 +460,10 @@ func (s *Server) admitItems(w http.ResponseWriter, r *http.Request, cost int64) 
 	if secs < 1 {
 		secs = 1
 	}
+	ev := events.New(events.TypeQuotaRefusal)
+	ev.Endpoint, ev.Client, ev.Items = r.URL.Path, clientKey(r), cost
+	ev.Ns = retry.Nanoseconds() // how long the bucket needs to refill
+	s.bus.Publish(ev)
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	s.httpError(w, http.StatusTooManyRequests,
 		"quota exhausted for client %q: retry after %ds", clientKey(r), secs)
@@ -437,6 +560,9 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		s.met.items.Add(length)
 		s.met.chunkItems.Add(length)
 		s.met.chunkNs.Add(time.Since(began).Nanoseconds())
+		if ri := reqInfoOf(r); ri != nil {
+			ri.items = length
+		}
 		return
 	}
 	served, ok := s.streamPaged(w, r, pm, start, length)
@@ -446,6 +572,9 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	s.met.items.Add(served)
 	s.met.chunkItems.Add(served)
 	s.met.chunkNs.Add(time.Since(began).Nanoseconds())
+	if ri := reqInfoOf(r); ri != nil {
+		ri.items = served
+	}
 }
 
 // handleAt serves GET /v1/perm/{seed}/at?n=&i=&backend= — the single
@@ -501,6 +630,9 @@ func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "%d\n", one[0])
 	s.met.items.Add(1)
+	if ri := reqInfoOf(r); ri != nil {
+		ri.items = 1
+	}
 }
 
 // handleShuffle serves POST /v1/shuffle?seed=&backend=: the request body
@@ -584,6 +716,9 @@ func (s *Server) handleShuffle(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.met.items.Add(int64(len(out)))
+		if ri := reqInfoOf(r); ri != nil {
+			ri.items = int64(len(out))
+		}
 		return
 	}
 	out, _, err := randperm.ParallelShuffle(items, opt)
@@ -599,6 +734,9 @@ func (s *Server) handleShuffle(w http.ResponseWriter, r *http.Request) {
 	}
 	bw.Flush()
 	s.met.items.Add(int64(len(out)))
+	if ri := reqInfoOf(r); ri != nil {
+		ri.items = int64(len(out))
+	}
 }
 
 // handleSample serves GET /v1/sample?n=&k=&seed= — a uniformly random
@@ -658,6 +796,9 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	bw.Flush()
 	s.met.items.Add(int64(len(sample)))
+	if ri := reqInfoOf(r); ri != nil {
+		ri.items = int64(len(sample))
+	}
 }
 
 // handleHealthz serves a JSON liveness probe that doubles as a config
@@ -679,6 +820,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"max_epoch":       s.cfg.MaxEpoch,
 		"quota":           s.quota != nil,
 		"workloads":       []string{"assign", "epochs"},
+		"events": map[string]any{
+			"subscribers":     s.bus.Subscribers(),
+			"max_subscribers": s.cfg.Events.MaxSubscribers,
+			"published":       s.bus.Published(),
+			"dropped":         s.bus.Dropped(),
+		},
 	}
 	if s.node != nil {
 		body["cluster"] = map[string]any{
@@ -708,6 +855,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.requests[epMetrics].Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.write(w)
+	fmt.Fprintf(w, "# HELP permd_events_published_total Events published onto the internal bus.\n")
+	fmt.Fprintf(w, "# TYPE permd_events_published_total counter\n")
+	fmt.Fprintf(w, "permd_events_published_total %d\n", s.bus.Published())
+	fmt.Fprintf(w, "# HELP permd_events_dropped_total Event deliveries dropped because a subscriber's buffer was full.\n")
+	fmt.Fprintf(w, "# TYPE permd_events_dropped_total counter\n")
+	fmt.Fprintf(w, "permd_events_dropped_total %d\n", s.bus.Dropped())
+	fmt.Fprintf(w, "# HELP permd_events_subscribers Live /v1/events subscriptions.\n")
+	fmt.Fprintf(w, "# TYPE permd_events_subscribers gauge\n")
+	fmt.Fprintf(w, "permd_events_subscribers %d\n", s.bus.Subscribers())
 	if s.quota != nil {
 		fmt.Fprintf(w, "# HELP permd_quota_clients Client quota buckets currently tracked.\n")
 		fmt.Fprintf(w, "# TYPE permd_quota_clients gauge\n")

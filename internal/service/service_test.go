@@ -413,10 +413,10 @@ func TestCacheErrorNotCached(t *testing.T) {
 		return randperm.NewPermuter(k.n, randperm.Options{Seed: k.seed, Backend: k.backend})
 	})
 	key := handleKey{n: 10, seed: 1, backend: randperm.BackendBijective}
-	if _, err := c.get(key); err == nil {
+	if _, _, err := c.get(key); err == nil {
 		t.Fatal("want error from first build")
 	}
-	if _, err := c.get(key); err != nil {
+	if _, _, err := c.get(key); err != nil {
 		t.Fatalf("second build should retry and succeed, got %v", err)
 	}
 	if calls != 2 {

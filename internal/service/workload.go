@@ -124,7 +124,7 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if !s.admitItems(w, r, 1) {
 		return
 	}
-	e, err := s.cache.get(handleKey{n: n, seed: seed, backend: randperm.BackendBijective})
+	e, hit, err := s.cache.get(handleKey{n: n, seed: seed, backend: randperm.BackendBijective})
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "building permutation: %v", err)
 		return
@@ -141,6 +141,13 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte(name + "\n"))
 	s.met.assignLookups.Add(1)
 	s.met.items.Add(1)
+	if ri := reqInfoOf(r); ri != nil {
+		ri.n, ri.seed, ri.backend, ri.items = n, seed, randperm.BackendBijective.String(), 1
+		ri.cache = "miss"
+		if hit {
+			ri.cache = "hit"
+		}
+	}
 }
 
 // handleEpochs serves GET /v1/epochs?seed=&n=&epoch=&mode=&start=&len= —
@@ -213,10 +220,17 @@ func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := s.epocher(seed, mode).Key(epoch)
-	e, err := s.cache.get(handleKey{n: n, seed: key, backend: randperm.BackendBijective})
+	e, hit, err := s.cache.get(handleKey{n: n, seed: key, backend: randperm.BackendBijective})
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "building permutation: %v", err)
 		return
+	}
+	if ri := reqInfoOf(r); ri != nil {
+		ri.n, ri.seed, ri.backend = n, key, randperm.BackendBijective.String()
+		ri.cache = "miss"
+		if hit {
+			ri.cache = "hit"
+		}
 	}
 	if mode == workload.EpochRecycled {
 		s.met.epochRecycled.Add(1)
@@ -233,6 +247,9 @@ func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
 	s.met.items.Add(served)
 	s.met.epochItems.Add(served)
 	s.met.epochNs.Add(time.Since(began).Nanoseconds())
+	if ri := reqInfoOf(r); ri != nil {
+		ri.items = served
+	}
 }
 
 // streamPaged writes π(start) .. π(start+length-1) one decimal per

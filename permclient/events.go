@@ -1,0 +1,180 @@
+package permclient
+
+// The live event stream: a typed iterator over permd's GET /v1/events
+// SSE endpoint. The client reconnects on stream failures, resuming from
+// the last sequence number it saw via the Last-Event-ID header, so a
+// consumer survives a permd restart or a dropped connection with at
+// most the replay-ring bound of loss — which it can detect by watching
+// for a gap in Event.Seq.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"iter"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Event is one occurrence from permd's live event stream — the SDK
+// mirror of the server's wire shape (one flat struct for every type;
+// fields a type does not use are zero, except Peer/Round/Slot whose
+// "not applicable" is -1 because 0 is meaningful for them).
+type Event struct {
+	// Seq is the server-assigned sequence number, strictly increasing.
+	// A gap between consecutive events means the consumer (or the
+	// resume) fell further behind than the server's replay ring.
+	Seq    uint64 `json:"seq"`
+	TimeNs int64  `json:"time_ns"`
+	// Type is the event's wire name: "request", "materialization",
+	// "cache_evict", "slow_request", "quota_refusal",
+	// "admission_queue", "cluster_round", "peer_health_change" or
+	// "join_result".
+	Type string `json:"type"`
+
+	Endpoint string `json:"endpoint,omitempty"`
+	Backend  string `json:"backend,omitempty"`
+	Client   string `json:"client,omitempty"`
+	N        int64  `json:"n,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	Items    int64  `json:"items,omitempty"`
+	Ns       int64  `json:"ns,omitempty"`
+	Cache    string `json:"cache,omitempty"`
+	Peer     int    `json:"peer"`
+	Round    int    `json:"round"`
+	Slot     int    `json:"slot"`
+	State    string `json:"state,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// Events returns an iterator over the server's live event stream,
+// optionally filtered to the named event types (empty means every
+// type). Iteration runs until ctx is cancelled or the consumer breaks;
+// a dropped connection or retryable server refusal (subscriber-cap
+// 503) is retried under the client's backoff policy, resuming from the
+// last event seen so no ring-resident event is lost or duplicated
+// across reconnects. A non-retryable failure (bad filter, exhausted
+// retries) is yielded as the final non-nil error.
+func (c *Client) Events(ctx context.Context, types ...string) iter.Seq2[Event, error] {
+	return c.events(ctx, 0, false, types)
+}
+
+// EventsFrom is Events resuming after sequence number `after`: the
+// server replays the events in (after, head] that its bounded replay
+// ring still holds before live delivery begins. after == 0 replays the
+// whole ring — recent history first, then live (what permtop boots
+// with); pass the last Seq a previous stream delivered to continue it.
+func (c *Client) EventsFrom(ctx context.Context, after uint64, types ...string) iter.Seq2[Event, error] {
+	return c.events(ctx, after, true, types)
+}
+
+// events is the shared iterator: resume says whether the FIRST
+// connection presents `after` as Last-Event-ID (EventsFrom) or starts
+// live-only (Events); reconnects always resume from the last delivery.
+func (c *Client) events(ctx context.Context, after uint64, resume bool, types []string) iter.Seq2[Event, error] {
+	q := url.Values{}
+	if len(types) > 0 {
+		q.Set("types", strings.Join(types, ","))
+	}
+	path := "/v1/events"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	return func(yield func(Event, error) bool) {
+		last := after
+		attempts := 0
+		// track records delivery progress so the next connection resumes
+		// exactly after the last event the consumer saw.
+		track := func(ev Event, err error) bool {
+			if err == nil {
+				last = ev.Seq
+				resume = true
+			}
+			return yield(ev, err)
+		}
+		for {
+			n, err := c.streamEvents(ctx, path, last, resume, track)
+			if n < 0 {
+				return // consumer broke out
+			}
+			if n > 0 {
+				attempts = 0 // progress resets the retry budget
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			if !retryable(err) || attempts >= c.cfg.MaxRetries {
+				if err == nil {
+					err = fmt.Errorf("permclient: event stream ended")
+				}
+				yield(Event{}, err)
+				return
+			}
+			attempts++
+			wait := min(c.cfg.Backoff<<attempts, c.cfg.MaxBackoff)
+			if c.sleep(ctx, wait) != nil {
+				return
+			}
+		}
+	}
+}
+
+// streamEvents runs one SSE connection, yielding parsed events. It
+// returns the number of events delivered on this connection and the
+// terminal error (nil for a clean server EOF); n == -1 means the
+// consumer stopped the iteration.
+func (c *Client) streamEvents(ctx context.Context, path string, last uint64, resume bool, yield func(Event, error) bool) (n int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	c.decorate(req)
+	if resume {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(last, 10))
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, apiError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Frame boundary: dispatch whatever data accumulated.
+			if data.Len() == 0 {
+				continue // keepalive or id/event-only frame
+			}
+			var ev Event
+			if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+				return n, fmt.Errorf("permclient: bad event payload %q: %v", data.String(), err)
+			}
+			data.Reset()
+			n++
+			if !yield(ev, nil) {
+				return -1, nil
+			}
+		case strings.HasPrefix(line, "data:"):
+			if data.Len() > 0 {
+				data.WriteByte('\n') // multi-line data per the SSE spec
+			}
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		case strings.HasPrefix(line, ":"):
+			// comment (keepalive) — ignore
+		default:
+			// id:/event: framing lines — Seq inside the JSON payload is
+			// authoritative, nothing to do here.
+		}
+	}
+	return n, sc.Err()
+}

@@ -1,0 +1,213 @@
+package permclient
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sseServer is a canned /v1/events endpoint: each connection serves the
+// events after the presented Last-Event-ID (or all of them), then
+// either closes (forcing the client to reconnect) or blocks until the
+// request dies.
+type sseServer struct {
+	events   []string // JSON payloads, 1-indexed by position+1
+	perConn  int      // events served per connection before closing; 0 = all
+	conns    atomic.Int64
+	lastSeen atomic.Int64 // Last-Event-ID of the most recent connection
+}
+
+func (s *sseServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.conns.Add(1)
+	after := 0
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		after, _ = strconv.Atoi(lid)
+	}
+	s.lastSeen.Store(int64(after))
+	w.Header().Set("Content-Type", "text/event-stream")
+	fl := w.(http.Flusher)
+	sent := 0
+	for i := after; i < len(s.events); i++ {
+		fmt.Fprintf(w, "id: %d\nevent: request\ndata: %s\n\n", i+1, s.events[i])
+		fl.Flush()
+		sent++
+		if s.perConn > 0 && sent >= s.perConn {
+			return // drop the connection mid-stream
+		}
+	}
+	// Served everything: keep the stream open until the client goes away,
+	// with keepalive comments the parser must skip.
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(10 * time.Millisecond):
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+func eventFixture(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf(`{"seq":%d,"time_ns":1,"type":"request","endpoint":"/v1/perm/1/chunk","items":%d,"peer":-1,"round":-1,"slot":-1}`, i+1, i)
+	}
+	return out
+}
+
+// TestEventsIterates: the iterator yields typed events in order and
+// stops cleanly when the consumer breaks.
+func TestEventsIterates(t *testing.T) {
+	srv := &sseServer{events: eventFixture(5)}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+
+	var got []Event
+	for ev, err := range c.Events(context.Background()) {
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		got = append(got, ev)
+		if len(got) == 5 {
+			break
+		}
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) || ev.Type != "request" || ev.Items != int64(i) {
+			t.Fatalf("event %d: got %+v", i, ev)
+		}
+		if ev.Peer != -1 || ev.Round != -1 || ev.Slot != -1 {
+			t.Fatalf("event %d: sentinels not preserved: %+v", i, ev)
+		}
+	}
+	if n := srv.conns.Load(); n != 1 {
+		t.Fatalf("%d connections for an unbroken stream, want 1", n)
+	}
+}
+
+// TestEventsReconnectResume: a connection dropped mid-stream reconnects
+// with Last-Event-ID set to the last delivered Seq — no duplicates, no
+// gaps across the reconnect boundary.
+func TestEventsReconnectResume(t *testing.T) {
+	srv := &sseServer{events: eventFixture(9), perConn: 4}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL, Backoff: time.Millisecond, MaxRetries: 5})
+
+	var seqs []uint64
+	for ev, err := range c.Events(context.Background()) {
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		seqs = append(seqs, ev.Seq)
+		if len(seqs) == 9 {
+			break
+		}
+	}
+	for i, seq := range seqs {
+		if seq != uint64(i+1) {
+			t.Fatalf("seq[%d] = %d, want %d (no gaps, no duplicates)", i, seq, i+1)
+		}
+	}
+	if n := srv.conns.Load(); n < 3 {
+		t.Fatalf("%d connections, want >= 3 (4+4+1 events per connection)", n)
+	}
+}
+
+// TestEventsFromResumes: EventsFrom(after) presents `after` on the very
+// first connection.
+func TestEventsFromResumes(t *testing.T) {
+	srv := &sseServer{events: eventFixture(6)}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+
+	var first Event
+	for ev, err := range c.EventsFrom(context.Background(), 4) {
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		first = ev
+		break
+	}
+	if first.Seq != 5 {
+		t.Fatalf("resume after 4: first seq %d, want 5", first.Seq)
+	}
+	if got := srv.lastSeen.Load(); got != 4 {
+		t.Fatalf("server saw Last-Event-ID %d, want 4", got)
+	}
+}
+
+// TestEventsTypesFilter: the types list becomes the ?types= query.
+func TestEventsTypesFilter(t *testing.T) {
+	var gotTypes atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotTypes.Store(r.URL.Query().Get("types"))
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "id: 1\nevent: materialization\ndata: {\"seq\":1,\"type\":\"materialization\",\"peer\":-1,\"round\":-1,\"slot\":-1}\n\n")
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	for ev, err := range c.Events(context.Background(), "materialization", "cache_evict") {
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if ev.Type != "materialization" {
+			t.Fatalf("got type %q", ev.Type)
+		}
+		break
+	}
+	if got := gotTypes.Load(); got != "materialization,cache_evict" {
+		t.Fatalf("server saw types=%q", got)
+	}
+}
+
+// TestEventsNonRetryableError: a 400 (bad filter) surfaces as the final
+// yielded *APIError instead of being retried forever.
+func TestEventsNonRetryableError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "permd: bad types filter", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	var last error
+	for _, err := range c.Events(context.Background(), "bogus") {
+		last = err
+	}
+	apiErr, ok := last.(*APIError)
+	if !ok || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("got %v, want *APIError with 400", last)
+	}
+}
+
+// TestEventsContextCancel: cancelling ctx ends iteration without a
+// yielded error — the consumer asked to stop.
+func TestEventsContextCancel(t *testing.T) {
+	srv := &sseServer{events: eventFixture(2)}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	count := 0
+	for _, err := range c.Events(ctx) {
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		count++
+		if count == 2 {
+			cancel() // stream idles on keepalives; cancellation must end it
+		}
+	}
+	if count != 2 {
+		t.Fatalf("delivered %d events, want 2", count)
+	}
+}
